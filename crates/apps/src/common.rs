@@ -1,0 +1,78 @@
+//! Shared helpers for the application suite.
+
+/// Splits `n` items over `parts` workers as evenly as possible; returns
+/// the half-open range of worker `part`.
+///
+/// # Example
+///
+/// ```
+/// use mgs_apps::common::block_range;
+///
+/// assert_eq!(block_range(10, 4, 0), (0, 3));
+/// assert_eq!(block_range(10, 4, 1), (3, 6));
+/// assert_eq!(block_range(10, 4, 3), (8, 10));
+/// ```
+pub fn block_range(n: usize, parts: usize, part: usize) -> (usize, usize) {
+    let base = n / parts;
+    let extra = n % parts;
+    let lo = part * base + part.min(extra);
+    let hi = lo + base + usize::from(part < extra);
+    (lo, hi.min(n))
+}
+
+/// Asserts two floats agree to a relative tolerance (absolute near
+/// zero).
+///
+/// # Panics
+///
+/// Panics when they differ by more than the tolerance.
+pub fn assert_close(label: &str, got: f64, want: f64, rel_tol: f64) {
+    let scale = want.abs().max(1.0);
+    assert!(
+        (got - want).abs() <= rel_tol * scale,
+        "{label}: got {got}, want {want} (rel tol {rel_tol})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_everything_disjointly() {
+        for n in [0usize, 1, 7, 10, 32, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for p in 0..parts {
+                    let (lo, hi) = block_range(n, parts, p);
+                    assert_eq!(lo, prev_hi, "contiguous");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        for p in 0..8 {
+            let (lo, hi) = block_range(100, 8, p);
+            assert!(hi - lo == 12 || hi - lo == 13);
+        }
+    }
+
+    #[test]
+    fn assert_close_accepts_equal() {
+        assert_close("x", 1.0, 1.0, 1e-12);
+        assert_close("y", 0.0, 1e-15, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "got")]
+    fn assert_close_rejects_garbage() {
+        assert_close("z", 2.0, 1.0, 1e-6);
+    }
+}

@@ -1,0 +1,133 @@
+//! The shared memory applications of the MGS evaluation (§5.2).
+//!
+//! Five applications, exactly the paper's suite, plus the Water force
+//! kernel of §5.2.3 in both its unmodified and loop-transformed
+//! (tiled) versions:
+//!
+//! | Application | Paper problem size | Module |
+//! |---|---|---|
+//! | Jacobi | 1024×1024 grid, 10 iterations | [`jacobi`] |
+//! | Matrix Multiply | 256×256 matrices | [`matmul`] |
+//! | TSP | 10-city tour | [`tsp`] |
+//! | Water | 343 molecules, 2 iterations | [`water`] |
+//! | Barnes-Hut | 2K bodies, 3 iterations | [`barnes`] |
+//! | Water-kernel | 512 molecules, 1 iteration | [`water_kernel`] |
+//!
+//! Every application is written against the `mgs-core` public API the
+//! way the paper's applications were written against shared memory:
+//! unmodified data layouts (e.g. TSP's contiguously-allocated 56-byte
+//! path elements, which false-share on 1 KB pages), barrier-phased
+//! computation, and lock-protected shared structures. Each application
+//! **verifies its numerical result** against a plain-Rust reference
+//! after the run — an end-to-end correctness check of the entire
+//! multigrain protocol stack.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+// Small fixed-size vector loops (`for k in 0..3`) read more clearly as
+// index loops in the numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+pub mod barnes;
+pub mod common;
+pub mod jacobi;
+pub mod matmul;
+pub mod tsp;
+pub mod water;
+pub mod water_kernel;
+
+use mgs_core::{DssmpConfig, Machine, RunReport};
+use std::sync::Arc;
+
+/// A runnable MGS application.
+pub trait MgsApp: Sync {
+    /// Short name (used by the benchmark harness CLI).
+    fn name(&self) -> &'static str;
+
+    /// Builds the workload on `machine`, runs it in parallel, verifies
+    /// the numerical result (panicking on mismatch), and returns the
+    /// run report for the measured (post-initialization) region.
+    fn execute(&self, machine: &Arc<Machine>) -> RunReport;
+}
+
+/// Runs `app` at every power-of-two cluster size from 1 to `P`,
+/// returning one sweep point per configuration (Figures 6–10
+/// methodology: fresh machine per point, everything fixed except `C`).
+pub fn sweep_app(base: &DssmpConfig, app: &dyn MgsApp) -> Vec<mgs_core::framework::SweepPoint> {
+    let mut points = Vec::new();
+    let mut c = 1;
+    while c <= base.n_procs {
+        let mut cfg = base.clone();
+        cfg.cluster_size = c;
+        let machine = Machine::new(cfg);
+        let report = app.execute(&machine);
+        points.push(mgs_core::framework::SweepPoint {
+            cluster_size: c,
+            report,
+            lock_hit_ratio: machine.lock_hit_ratio(),
+        });
+        c *= 2;
+    }
+    points
+}
+
+/// Like [`sweep_app`], but averages `reps` independent runs per
+/// cluster size (execution-driven runs are timing-nondeterministic; the
+/// harness uses a few repetitions for stable figures).
+pub fn sweep_app_averaged(
+    base: &DssmpConfig,
+    app: &dyn MgsApp,
+    reps: usize,
+) -> Vec<mgs_core::framework::SweepPoint> {
+    use mgs_core::{CostCategory, CycleAccount, Cycles};
+    assert!(reps >= 1, "at least one repetition");
+    let mut points = Vec::new();
+    let mut c = 1;
+    while c <= base.n_procs {
+        let mut durations = 0u64;
+        let mut breakdown_sum = CycleAccount::new();
+        let mut hit_sum = 0.0;
+        let mut acquires = 0;
+        let mut hits = 0;
+        let mut last: Option<mgs_core::RunReport> = None;
+        for _ in 0..reps {
+            let mut cfg = base.clone();
+            cfg.cluster_size = c;
+            let machine = Machine::new(cfg);
+            let report = app.execute(&machine);
+            durations += report.duration.raw();
+            breakdown_sum.merge(&report.breakdown);
+            hit_sum += machine.lock_hit_ratio();
+            acquires += report.lock_acquires;
+            hits += report.lock_hits;
+            last = Some(report);
+        }
+        let mut report = last.expect("reps >= 1");
+        report.duration = Cycles(durations / reps as u64);
+        let mut mean = CycleAccount::new();
+        for cat in CostCategory::ALL {
+            mean.record(cat, breakdown_sum.get(cat) / reps as u64);
+        }
+        report.breakdown = mean;
+        report.lock_acquires = acquires / reps as u64;
+        report.lock_hits = hits / reps as u64;
+        points.push(mgs_core::framework::SweepPoint {
+            cluster_size: c,
+            report,
+            lock_hit_ratio: hit_sum / reps as f64,
+        });
+        c *= 2;
+    }
+    points
+}
+
+/// The sequential runtime of `app` (Table 4's "Seq" column): one
+/// processor, tightly coupled, software virtual memory included.
+pub fn sequential_runtime(base: &DssmpConfig, app: &dyn MgsApp) -> mgs_core::Cycles {
+    let mut cfg = base.clone();
+    cfg.n_procs = 1;
+    cfg.cluster_size = 1;
+    cfg.governor_window = None;
+    let machine = Machine::new(cfg);
+    app.execute(&machine).duration
+}

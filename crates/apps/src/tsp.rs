@@ -1,0 +1,405 @@
+//! TSP: branch-and-bound traveling salesman (§5.2, Figure 8).
+//!
+//! Solves an `n`-city tour with a **centralized work queue** of partial
+//! tours and a shared best-cost bound, exactly the structure the paper
+//! describes. Two properties make TSP the worst case of the suite:
+//!
+//! * the work queue is a severe serialization bottleneck, and under
+//!   software page coherence the queue lock suffers *critical-section
+//!   dilation* (a release-consistency flush happens inside the lock
+//!   hold time);
+//! * path elements are **56 bytes (7 words)**, contiguously allocated
+//!   and randomly claimed by processors, so 1 KB pages exhibit heavy
+//!   false sharing.
+
+use crate::MgsApp;
+use mgs_core::{AccessKind, Env, Machine, RunReport, SharedArray};
+use mgs_sim::XorShift64;
+use std::sync::Arc;
+
+/// Words per path element: 56 bytes, as in the paper.
+const ELEM_WORDS: u64 = 7;
+// Element field offsets.
+const F_DEPTH: u64 = 0;
+const F_COST: u64 = 1;
+const F_VISITED: u64 = 2;
+const F_PATH_LO: u64 = 3;
+const F_PATH_HI: u64 = 4;
+const F_LAST: u64 = 5;
+/// Admissible remaining-cost bound: the sum of each unvisited city's
+/// cheapest incident edge (plus the final return leg's minimum).
+const F_BOUND_REST: u64 = 6;
+
+// Control-block slots.
+const C_TOP: u64 = 0;
+const C_BEST: u64 = 1;
+const C_ACTIVE: u64 = 2;
+
+/// The TSP application.
+#[derive(Debug, Clone)]
+pub struct Tsp {
+    /// Number of cities (the paper uses 10).
+    pub n: usize,
+    /// Workload seed for the distance matrix.
+    pub seed: u64,
+    /// Work-queue capacity in elements.
+    pub capacity: u64,
+    /// Cycles of lower-bound computation per expanded node.
+    pub bound_cycles: u64,
+}
+
+impl Tsp {
+    /// The paper's problem size: a 10-city tour.
+    pub fn paper() -> Tsp {
+        Tsp {
+            n: 10,
+            seed: 0x75,
+            capacity: 65_536,
+            bound_cycles: 7_300,
+        }
+    }
+
+    /// A size suitable for unit tests.
+    pub fn small() -> Tsp {
+        Tsp {
+            n: 7,
+            seed: 0x75,
+            capacity: 16_384,
+            bound_cycles: 7_300,
+        }
+    }
+
+    /// Symmetric random distance matrix.
+    fn distances(&self) -> Vec<u64> {
+        let n = self.n;
+        let mut rng = XorShift64::new(self.seed);
+        let mut d = vec![0u64; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let w = 1 + rng.next_below(99);
+                d[i * n + j] = w;
+                d[j * n + i] = w;
+            }
+        }
+        d
+    }
+
+    /// Cheapest edge incident to each city (for the admissible lower
+    /// bound used to prune: a tour must still pay at least the minimum
+    /// edge of every unvisited city).
+    fn min_edges(&self) -> Vec<u64> {
+        let n = self.n;
+        let d = self.distances();
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| d[i * n + j])
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Greedy nearest-neighbour tour cost: the initial upper bound
+    /// workers start from (standard branch-and-bound practice; it makes
+    /// pruning effective from the first expansions).
+    fn greedy_bound(&self) -> u64 {
+        let n = self.n;
+        let d = self.distances();
+        let mut visited = 1u64;
+        let mut last = 0;
+        let mut cost = 0;
+        for _ in 1..n {
+            let (j, w) = (1..n)
+                .filter(|j| visited & (1 << j) == 0)
+                .map(|j| (j, d[last * n + j]))
+                .min_by_key(|&(_, w)| w)
+                .expect("unvisited city remains");
+            visited |= 1 << j;
+            cost += w;
+            last = j;
+        }
+        cost + d[last * n]
+    }
+
+    /// Exhaustive reference: the optimal tour cost starting/ending at
+    /// city 0.
+    fn reference_best(&self) -> u64 {
+        let n = self.n;
+        let d = self.distances();
+        fn go(d: &[u64], n: usize, last: usize, visited: u64, cost: u64, best: &mut u64) {
+            if visited == (1 << n) - 1 {
+                *best = (*best).min(cost + d[last * n]);
+                return;
+            }
+            for j in 1..n {
+                if visited & (1 << j) == 0 {
+                    let c = cost + d[last * n + j];
+                    if c < *best {
+                        go(d, n, j, visited | (1 << j), c, best);
+                    }
+                }
+            }
+        }
+        let mut best = u64::MAX;
+        go(&d, n, 0, 1, 0, &mut best);
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn worker(
+        &self,
+        env: &mut Env,
+        dist: SharedArray<u64>,
+        pool: SharedArray<u64>,
+        queue: SharedArray<u64>,
+        ctrl: SharedArray<u64>,
+        qlock: &mgs_core::MgsLock,
+        block: &mgs_core::MgsLock,
+        min_edge: &[u64],
+    ) {
+        let n = self.n as u64;
+        // Per-worker arena inside the contiguous element pool: elements
+        // are written outside the queue lock (the release-consistency
+        // flush at the subsequent lock release publishes them together
+        // with the queue pointer).
+        let arena = self.capacity / env.nprocs() as u64;
+        let mut next_elem = env.pid() as u64 * arena;
+        // The pool's final slot is reserved for the seed element.
+        let arena_end = (next_elem + arena).min(self.capacity - 1);
+        env.barrier();
+        env.start_measurement();
+        let mut carried: Option<[u64; 7]> = None;
+        loop {
+            let elem = match carried.take() {
+                Some(e) => e,
+                None => {
+                    // Pop a *pointer* under the queue lock; the element
+                    // itself is read outside the critical section.
+                    env.acquire(qlock);
+                    let top = ctrl.read(env, C_TOP);
+                    if top == 0 {
+                        let active = ctrl.read(env, C_ACTIVE);
+                        env.release(qlock);
+                        if active == 0 {
+                            break;
+                        }
+                        env.compute(2_000); // back off before polling again
+                        continue;
+                    }
+                    let ptr = queue.read(env, top - 1);
+                    ctrl.write(env, C_TOP, top - 1);
+                    let active = ctrl.read(env, C_ACTIVE);
+                    ctrl.write(env, C_ACTIVE, active + 1);
+                    env.release(qlock);
+                    let s = ptr * ELEM_WORDS;
+                    [
+                        pool.read(env, s + F_DEPTH),
+                        pool.read(env, s + F_COST),
+                        pool.read(env, s + F_VISITED),
+                        pool.read(env, s + F_PATH_LO),
+                        pool.read(env, s + F_PATH_HI),
+                        pool.read(env, s + F_LAST),
+                        pool.read(env, s + F_BOUND_REST),
+                    ]
+                }
+            };
+            let [depth, cost, visited, path_lo, path_hi, last, bound_rest] = elem;
+            // A stale bound only prunes less (best decreases
+            // monotonically), so an unlocked read is safe.
+            let best = ctrl.read(env, C_BEST);
+
+            if cost + bound_rest < best {
+                if depth == n {
+                    // Close the tour.
+                    let total = cost + dist.read(env, last * n);
+                    env.compute(50);
+                    env.acquire(block);
+                    if total < ctrl.read(env, C_BEST) {
+                        ctrl.write(env, C_BEST, total);
+                    }
+                    env.release(block);
+                } else {
+                    // Lower-bound computation for this node (the bulk
+                    // of branch-and-bound work).
+                    env.compute(self.bound_cycles);
+                    let mut pushed = Vec::new();
+                    for j in 1..n {
+                        if visited & (1 << j) != 0 {
+                            continue;
+                        }
+                        let child_cost = cost + dist.read(env, last * n + j);
+                        let child_rest = bound_rest - min_edge[j as usize];
+                        env.compute(80);
+                        if child_cost + child_rest >= best {
+                            continue;
+                        }
+                        let (lo, hi) = push_city(path_lo, path_hi, depth, j);
+                        let child = [
+                            depth + 1,
+                            child_cost,
+                            visited | (1 << j),
+                            lo,
+                            hi,
+                            j,
+                            child_rest,
+                        ];
+                        // Carry the first feasible child (depth-first);
+                        // materialize the rest into this worker's arena.
+                        if carried.is_none() {
+                            carried = Some(child);
+                            continue;
+                        }
+                        assert!(next_elem < arena_end, "element pool exhausted");
+                        let ptr = next_elem;
+                        next_elem += 1;
+                        let s = ptr * ELEM_WORDS;
+                        for (k, &v) in child.iter().enumerate() {
+                            pool.write(env, s + k as u64, v);
+                        }
+                        pushed.push(ptr);
+                    }
+                    // One short critical section publishes every child
+                    // pointer.
+                    if !pushed.is_empty() {
+                        env.acquire(qlock);
+                        let t = ctrl.read(env, C_TOP);
+                        assert!(t + pushed.len() as u64 <= self.capacity, "queue overflow");
+                        for (k, &ptr) in pushed.iter().enumerate() {
+                            queue.write(env, t + k as u64, ptr);
+                        }
+                        ctrl.write(env, C_TOP, t + pushed.len() as u64);
+                        env.release(qlock);
+                    }
+                }
+            }
+            if carried.is_none() {
+                // This branch is exhausted: retire from the active set.
+                env.acquire(qlock);
+                let active = ctrl.read(env, C_ACTIVE);
+                ctrl.write(env, C_ACTIVE, active - 1);
+                env.release(qlock);
+            }
+        }
+        env.barrier();
+    }
+}
+
+/// Packs city `city` at position `pos` into the two path words
+/// (4 bits per city, up to 16 cities).
+fn push_city(lo: u64, hi: u64, pos: u64, city: u64) -> (u64, u64) {
+    if pos < 16 {
+        (lo | city << (4 * pos), hi)
+    } else {
+        (lo, hi | city << (4 * (pos - 16)))
+    }
+}
+
+impl MgsApp for Tsp {
+    fn name(&self) -> &'static str {
+        "tsp"
+    }
+
+    fn execute(&self, machine: &Arc<Machine>) -> RunReport {
+        let n = self.n;
+        let d = self.distances();
+        let dist = machine.alloc_array_blocked::<u64>((n * n) as u64, AccessKind::DistArray);
+        for (i, &w) in d.iter().enumerate() {
+            machine.poke(&dist, i as u64, w);
+        }
+        // Path elements are packed contiguously: 56-byte elements on
+        // 1 KB pages — the false sharing the paper describes.
+        // Path elements are contiguously allocated in a shared pool and
+        // randomly assigned to processors from the work queue — the
+        // 56-byte-elements-on-1KB-pages false sharing of §5.2.1. The
+        // queue itself holds *pointers*; it and its control block are
+        // centralized (homed at processor 0).
+        let pool =
+            machine.alloc_array_pages::<u64>(self.capacity * ELEM_WORDS, AccessKind::Pointer);
+        let queue = machine.alloc_array_homed::<u64>(self.capacity, AccessKind::Pointer, |_| 0);
+        let ctrl = machine.alloc_array_homed::<u64>(4, AccessKind::Pointer, |_| 0);
+        let qlock = machine.new_lock();
+        let block = machine.new_lock();
+
+        // Seed the queue with the root partial tour {0}; its remaining
+        // bound is every other city's minimum edge plus the return leg.
+        let min_edge = self.min_edges();
+        let root_rest: u64 = min_edge.iter().skip(1).sum::<u64>() + min_edge[0];
+        // Seed: element 0 of the last arena (no worker allocates there
+        // first) holds the root tour {0}.
+        let root = self.capacity - 1;
+        machine.poke(&pool, root * ELEM_WORDS + F_DEPTH, 1);
+        machine.poke(&pool, root * ELEM_WORDS + F_COST, 0);
+        machine.poke(&pool, root * ELEM_WORDS + F_VISITED, 1);
+        machine.poke(&pool, root * ELEM_WORDS + F_LAST, 0);
+        machine.poke(&pool, root * ELEM_WORDS + F_BOUND_REST, root_rest);
+        machine.poke(&queue, 0, root);
+        machine.poke(&ctrl, C_TOP, 1);
+        machine.poke(&ctrl, C_BEST, self.greedy_bound());
+        machine.poke(&ctrl, C_ACTIVE, 0);
+
+        let report =
+            machine.run(|env| self.worker(env, dist, pool, queue, ctrl, &qlock, &block, &min_edge));
+        let best = machine.peek(&ctrl, C_BEST);
+        assert_eq!(best, self.reference_best(), "TSP optimal cost mismatch");
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgs_core::DssmpConfig;
+
+    fn quiet(p: usize, c: usize) -> DssmpConfig {
+        let mut cfg = DssmpConfig::new(p, c);
+        cfg.governor_window = None;
+        cfg
+    }
+
+    #[test]
+    fn push_city_packs_nibbles() {
+        let (lo, hi) = push_city(0, 0, 1, 0xA);
+        assert_eq!(lo, 0xA0);
+        assert_eq!(hi, 0);
+        let (_, hi) = push_city(0, 0, 16, 0x3);
+        assert_eq!(hi, 0x3);
+    }
+
+    #[test]
+    fn reference_matches_known_tiny_instance() {
+        // 4 cities on a line at 0, 1, 2, 3 (distance = |i - j|): the
+        // optimal tour is 0-1-2-3-0 with cost 6... but our matrix is
+        // random; instead check basic sanity: cost is finite & stable.
+        let t = Tsp {
+            n: 5,
+            seed: 1,
+            capacity: 64,
+            bound_cycles: 7_300,
+        };
+        let b = t.reference_best();
+        assert!(b > 0 && b < u64::MAX);
+        assert_eq!(b, t.reference_best());
+    }
+
+    #[test]
+    fn finds_optimum_tightly_coupled() {
+        Tsp::small().execute(&Machine::new(quiet(4, 4)));
+    }
+
+    #[test]
+    fn finds_optimum_clustered() {
+        Tsp::small().execute(&Machine::new(quiet(4, 2)));
+    }
+
+    #[test]
+    fn finds_optimum_uniprocessor_nodes() {
+        Tsp::small().execute(&Machine::new(quiet(4, 1)));
+    }
+
+    #[test]
+    fn finds_optimum_single_processor() {
+        Tsp::small().execute(&Machine::new(quiet(1, 1)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of whole-application simulations at reduced
+//! problem sizes: one per table/figure workload, at the cluster sizes
+//! that bracket the paper's sweep (C = 1 and C = P). These keep
+//! end-to-end simulator throughput visible; the paper-scale runs live
+//! in the harness binaries (`table4`, `figures`, …).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgs_apps::{jacobi::Jacobi, matmul::MatMul, tsp::Tsp, water::Water, MgsApp};
+use mgs_core::{DssmpConfig, Machine};
+
+fn cfg(p: usize, c: usize) -> DssmpConfig {
+    let mut cfg = DssmpConfig::new(p, c);
+    cfg.governor_window = None;
+    cfg
+}
+
+fn bench_app(c: &mut Criterion, name: &str, app: &dyn MgsApp, cluster: usize) {
+    c.bench_function(name, |b| {
+        b.iter(|| app.execute(&Machine::new(cfg(8, cluster))).duration)
+    });
+}
+
+fn jacobi(c: &mut Criterion) {
+    let app = Jacobi::small();
+    bench_app(c, "app/jacobi/C=1", &app, 1);
+    bench_app(c, "app/jacobi/C=8", &app, 8);
+}
+
+fn matmul(c: &mut Criterion) {
+    let app = MatMul::small();
+    bench_app(c, "app/matmul/C=1", &app, 1);
+    bench_app(c, "app/matmul/C=8", &app, 8);
+}
+
+fn tsp(c: &mut Criterion) {
+    let app = Tsp::small();
+    bench_app(c, "app/tsp/C=1", &app, 1);
+    bench_app(c, "app/tsp/C=8", &app, 8);
+}
+
+fn water(c: &mut Criterion) {
+    // Water uses the verification-free runner: the bench loop executes
+    // the app dozens of times and measures simulator throughput only.
+    let app = Water::small();
+    c.bench_function("app/water/C=1", |b| {
+        b.iter(|| app.run_unverified(&Machine::new(cfg(8, 1))).duration)
+    });
+    c.bench_function("app/water/C=8", |b| {
+        b.iter(|| app.run_unverified(&Machine::new(cfg(8, 8))).duration)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = jacobi, matmul, tsp, water
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the simulator's primitive operations:
+//! these measure *host* (wall-clock) performance of the substrate, not
+//! simulated cycles — they exist to keep the simulator itself fast and
+//! to catch performance regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgs_cache::{CacheConfig, ProcCache, SsmpCacheSystem};
+use mgs_proto::{MgsProtocol, PageDiff, ProtoConfig, RecordingTiming};
+use mgs_sim::{CostModel, Cycles, Occupancy, XorShift64};
+use mgs_sync::MgsLock;
+use mgs_vm::{FrameAllocator, PageGeometry, Tlb, TlbEntry};
+
+fn bench_diff(c: &mut Criterion) {
+    let twin: Vec<u64> = (0..128).collect();
+    let mut cur = twin.clone();
+    for i in (0..128).step_by(4) {
+        cur[i] += 1;
+    }
+    c.bench_function("diff/compute_128_words", |b| {
+        b.iter(|| PageDiff::compute(std::hint::black_box(&cur), std::hint::black_box(&twin)))
+    });
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let sys = SsmpCacheSystem::new(5);
+    let mut cache = ProcCache::new(CacheConfig::alewife());
+    let mut rng = XorShift64::new(1);
+    c.bench_function("cache/access_classify", |b| {
+        b.iter(|| {
+            let line = rng.next_below(4096);
+            sys.access(&mut cache, 0, line, 0, line.is_multiple_of(3))
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let frames = FrameAllocator::new(PageGeometry::default());
+    let tlb = Tlb::new();
+    for p in 0..64 {
+        let frame = frames.alloc(0);
+        tlb.insert(
+            p,
+            TlbEntry {
+                gen: frame.generation(),
+                frame,
+                writable: true,
+            },
+        );
+    }
+    let mut rng = XorShift64::new(2);
+    c.bench_function("tlb/lookup_hit", |b| {
+        b.iter(|| tlb.lookup(rng.next_below(64), false))
+    });
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    let occ = Occupancy::new();
+    c.bench_function("occupancy/occupy", |b| {
+        b.iter(|| occ.occupy(Cycles(0), Cycles(10)))
+    });
+}
+
+fn bench_lock(c: &mut Criterion) {
+    let lock = MgsLock::new(CostModel::alewife(), Cycles(1000), 4);
+    c.bench_function("lock/acquire_release_local", |b| {
+        b.iter(|| {
+            let (t, _) = lock.acquire(0, Cycles(0));
+            lock.release(t);
+        })
+    });
+}
+
+fn bench_protocol_fault(c: &mut Criterion) {
+    c.bench_function("protocol/read_miss_transaction", |b| {
+        b.iter_batched(
+            || MgsProtocol::new(ProtoConfig::new(2, 2)),
+            |proto| {
+                let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+                proto.fault(2, 0, false, &mut t);
+                t.elapsed()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_release(c: &mut Criterion) {
+    c.bench_function("protocol/single_writer_release", |b| {
+        b.iter_batched(
+            || {
+                let proto = MgsProtocol::new(ProtoConfig::new(2, 2));
+                let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+                let e = proto.fault(2, 0, true, &mut t);
+                e.frame.store(0, 1);
+                proto
+            },
+            |proto| {
+                let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+                proto.release_all(2, &mut t);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_cache_access,
+    bench_tlb,
+    bench_occupancy,
+    bench_lock,
+    bench_protocol_fault,
+    bench_release
+);
+criterion_main!(benches);

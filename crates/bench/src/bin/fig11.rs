@@ -1,0 +1,23 @@
+//! Regenerates **Figure 11**: the MGS token-lock hit ratio as a
+//! function of cluster size for the lock-using applications
+//! (TSP, Water, Barnes-Hut).
+
+use mgs_bench::chart::series_chart;
+use mgs_bench::cli::Options;
+use mgs_bench::suite::{base_config, by_name};
+
+fn main() {
+    let opts = Options::parse();
+    let base = base_config(&opts);
+    for name in ["tsp", "water", "barnes-hut"] {
+        let app = by_name(&opts, name).expect("known app");
+        eprintln!("sweeping {name}...");
+        let points = mgs_apps::sweep_app_averaged(&base, app.as_ref(), opts.reps);
+        let series: Vec<(usize, f64)> = points
+            .iter()
+            .map(|pt| (pt.cluster_size, pt.lock_hit_ratio))
+            .collect();
+        println!("\n=== {name} ===");
+        println!("{}", series_chart("lock hit ratio", &series, 1.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Figure 12**: the Water force-interaction kernel
+//! without (left) and with (right) the tiling loop transformation of
+//! §5.2.3, including the breakup-penalty collapse the paper reports
+//! (334% → 26%).
+
+use mgs_apps::MgsApp as _;
+use mgs_bench::chart::breakdown_chart;
+use mgs_bench::cli::Options;
+use mgs_bench::suite::{base_config, kernels};
+use mgs_core::framework;
+
+fn main() {
+    let opts = Options::parse();
+    let base = base_config(&opts);
+    for (kernel, _) in kernels(&opts) {
+        eprintln!("sweeping {}...", kernel.name());
+        let points = mgs_apps::sweep_app_averaged(&base, &kernel, opts.reps);
+        println!("\n=== {} (P = {}) ===", kernel.name(), opts.p);
+        let bars: Vec<_> = points
+            .iter()
+            .map(|pt| (pt.cluster_size, &pt.report))
+            .collect();
+        println!("{}", breakdown_chart(&bars));
+        let m = framework::metrics(&points);
+        println!("framework: {m}");
+    }
+    println!("\npaper: unmodified breakup 334%, tiled breakup 26%, tiled potential 107% (vs C=1), convex");
+}

@@ -1,0 +1,79 @@
+//! Scaling studies beyond the paper's fixed configuration, using the
+//! §2.4 framework as the analysis tool:
+//!
+//! * **external latency sweep** — how the breakup penalty grows as the
+//!   inter-SSMP network slows from tightly-coupled-like (0 cycles) to
+//!   commodity-LAN-like (16k cycles);
+//! * **page size sweep** — the software sharing grain (coarser pages
+//!   amortize protocol overhead but aggravate false sharing);
+//! * **machine size sweep** — P at a fixed cluster size.
+
+use mgs_apps::{water::Water, MgsApp};
+use mgs_bench::chart::table;
+use mgs_bench::cli::Options;
+use mgs_bench::suite::base_config;
+use mgs_core::{framework, Cycles, Machine, PageGeometry};
+
+fn main() {
+    let opts = Options::parse();
+    let water = Water {
+        n: opts.dim(343, 48),
+        ..Water::paper()
+    };
+
+    // External latency sweep: framework metrics per latency.
+    let mut rows = Vec::new();
+    for ext in [0u64, 1_000, 4_000, 16_000] {
+        eprintln!("water sweep at ext latency {ext}...");
+        let base = base_config(&opts).with_ext_latency(Cycles(ext));
+        let points = mgs_apps::sweep_app_averaged(&base, &water, opts.reps);
+        let m = framework::metrics(&points);
+        rows.push(vec![
+            format!("{ext} cyc"),
+            format!("{:.0}%", m.breakup_penalty * 100.0),
+            format!("{:.0}%", m.multigrain_potential * 100.0),
+            m.curvature.to_string(),
+        ]);
+    }
+    println!(
+        "\nWater framework metrics vs. inter-SSMP latency (P = {}):",
+        opts.p
+    );
+    println!(
+        "{}",
+        table(&["latency", "breakup", "potential", "curv"], &rows)
+    );
+
+    // Page size sweep at C = P/4.
+    let c = (opts.p / 4).max(1);
+    let mut rows = Vec::new();
+    for page in [512u64, 1024, 2048, 4096] {
+        eprintln!("water at {page}-byte pages...");
+        let mut cfg = base_config(&opts);
+        cfg.cluster_size = c;
+        cfg.geometry = PageGeometry::new(page);
+        let r = water.execute(&Machine::new(cfg));
+        rows.push(vec![
+            format!("{page} B"),
+            format!("{:.2}", r.duration.as_mcycles()),
+        ]);
+    }
+    println!("\nWater at C = {c} vs. page size:");
+    println!("{}", table(&["page", "Mcyc"], &rows));
+
+    // Machine size sweep at C = 4.
+    let mut rows = Vec::new();
+    for p in [8usize, 16, 32] {
+        eprintln!("water at P = {p}...");
+        let mut cfg = base_config(&opts);
+        cfg.n_procs = p;
+        cfg.cluster_size = 4.min(p);
+        let r = water.execute(&Machine::new(cfg));
+        rows.push(vec![
+            format!("P = {p}"),
+            format!("{:.2}", r.duration.as_mcycles()),
+        ]);
+    }
+    println!("\nWater at C = 4 vs. machine size:");
+    println!("{}", table(&["machine", "Mcyc"], &rows));
+}

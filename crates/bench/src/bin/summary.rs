@@ -1,0 +1,63 @@
+//! Framework-metric summary across the whole suite, compared against
+//! the paper's reported numbers (§5.2, §7).
+
+use mgs_bench::chart::table;
+use mgs_bench::cli::Options;
+use mgs_bench::json::JsonSweep;
+use mgs_bench::suite::{base_config, kernels, suite};
+use mgs_core::framework;
+
+fn main() {
+    let opts = Options::parse();
+    let json = opts.args.iter().any(|a| a == "--json");
+    let base = base_config(&opts);
+    let mut rows = Vec::new();
+    let mut sweeps = Vec::new();
+    let mut run = |app: &dyn mgs_apps::MgsApp, paper: mgs_bench::suite::PaperNumbers| {
+        eprintln!("sweeping {}...", app.name());
+        let points = mgs_apps::sweep_app_averaged(&base, app, opts.reps);
+        let m = framework::metrics(&points);
+        sweeps.push(JsonSweep::new(app.name(), opts.p, &points, &m));
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{:.0}%", m.breakup_penalty * 100.0),
+            format!("{:.0}%", paper.breakup * 100.0),
+            format!("{:.0}%", m.multigrain_potential * 100.0),
+            format!("{:.0}%", paper.potential * 100.0),
+            m.curvature.to_string(),
+            paper.curvature.to_string(),
+        ]);
+    };
+    for (app, paper) in suite(&opts) {
+        run(app.as_ref(), paper);
+    }
+    for (kernel, paper) in kernels(&opts) {
+        run(&kernel, paper);
+    }
+    println!(
+        "\nDSSMP framework metrics (P = {}, scale 1/{}):",
+        opts.p, opts.scale
+    );
+    println!(
+        "{}",
+        table(
+            &[
+                "app",
+                "breakup",
+                "paper",
+                "potential",
+                "paper",
+                "curv",
+                "paper"
+            ],
+            &rows
+        )
+    );
+    if json {
+        let body: Vec<String> = sweeps.iter().map(JsonSweep::to_json).collect();
+        let path = "results/summary.json";
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(path, format!("[{}]", body.join(",\n"))).expect("write summary.json");
+        eprintln!("wrote {path}");
+    }
+}

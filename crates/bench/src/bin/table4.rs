@@ -1,0 +1,57 @@
+//! Regenerates **Table 4**: applications, problem sizes, sequential
+//! runtime (Mcycles) and speedup on P processors (default 32).
+
+use mgs_bench::chart::table;
+use mgs_bench::cli::Options;
+use mgs_bench::suite::{base_config, suite};
+use mgs_core::Machine;
+
+fn main() {
+    let opts = Options::parse();
+    let base = base_config(&opts);
+    // Paper values at the full problem sizes (Seq in Mcycles, S32).
+    let paper: &[(&str, f64, f64)] = &[
+        ("jacobi", 1618.0, 30.0),
+        ("matmul", 3081.0, 26.9),
+        ("tsp", 54.2, 23.0),
+        ("water", 1993.0, 26.9),
+        ("barnes-hut", 977.0, 13.8),
+    ];
+    let mut rows = Vec::new();
+    for (app, _) in suite(&opts) {
+        eprintln!("running {} sequentially...", app.name());
+        let seq = mgs_apps::sequential_runtime(&base, app.as_ref());
+        eprintln!(
+            "running {} on {} processors (tightly coupled)...",
+            app.name(),
+            opts.p
+        );
+        let mut cfg = base.clone();
+        cfg.cluster_size = cfg.n_procs; // C = P: the baseline of Table 4
+        let par = app.execute(&Machine::new(cfg)).duration;
+        let speedup = seq.raw() as f64 / par.raw() as f64;
+        let (pseq, ps32) = paper
+            .iter()
+            .find(|(n, _, _)| *n == app.name())
+            .map(|&(_, s, x)| (s, x))
+            .unwrap_or((f64::NAN, f64::NAN));
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{:.1}", seq.as_mcycles()),
+            format!("{pseq:.1}"),
+            format!("{speedup:.1}"),
+            format!("{ps32:.1}"),
+        ]);
+    }
+    println!("Table 4 (P = {}, scale 1/{}):", opts.p, opts.scale);
+    println!(
+        "{}",
+        table(&["app", "seq Mcyc", "paper", "speedup", "paper"], &rows)
+    );
+    if opts.scale != 1 {
+        println!(
+            "note: problem sizes scaled down 1/{}; paper columns are full-size.",
+            opts.scale
+        );
+    }
+}

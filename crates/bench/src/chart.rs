@@ -1,0 +1,133 @@
+//! Terminal rendering of the paper's figures: stacked runtime-breakdown
+//! bars (Figures 6–10, 12) and simple series plots (Figure 11).
+
+use mgs_core::{CostCategory, RunReport};
+
+/// Renders one stacked bar per cluster size, in the style of the
+/// paper's runtime-breakdown figures: each bar is split into
+/// User / Lock / Barrier / MGS segments, scaled to the longest run.
+pub fn breakdown_chart(points: &[(usize, &RunReport)]) -> String {
+    const WIDTH: f64 = 60.0;
+    let max = points
+        .iter()
+        .map(|(_, r)| r.breakdown.total().raw())
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let mut out = String::new();
+    out.push_str("  C      Mcycles  U=User L=Lock B=Barrier M=MGS\n");
+    for (c, report) in points {
+        let total = report.breakdown.total();
+        let mut bar = String::new();
+        for (cat, sym) in [
+            (CostCategory::User, 'U'),
+            (CostCategory::Lock, 'L'),
+            (CostCategory::Barrier, 'B'),
+            (CostCategory::Mgs, 'M'),
+        ] {
+            let cycles = report.breakdown.get(cat).raw() as f64;
+            let n = (cycles / max * WIDTH).round() as usize;
+            bar.extend(std::iter::repeat_n(sym, n));
+        }
+        out.push_str(&format!(
+            "{:>3} {:>12.2}  |{}\n",
+            c,
+            total.as_mcycles(),
+            bar
+        ));
+    }
+    out
+}
+
+/// Renders a value-per-cluster-size series (e.g. lock hit ratio).
+pub fn series_chart(title: &str, points: &[(usize, f64)], max: f64) -> String {
+    const WIDTH: f64 = 50.0;
+    let mut out = format!("{title}\n");
+    for (c, v) in points {
+        let n = ((v / max).clamp(0.0, 1.0) * WIDTH).round() as usize;
+        out.push_str(&format!("{:>3} {:>8.3}  |{}\n", c, v, "#".repeat(n)));
+    }
+    out
+}
+
+/// Formats a plain text table from rows of columns.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgs_core::{CycleAccount, Cycles};
+
+    fn report(user: u64, mgs: u64) -> RunReport {
+        let mut breakdown = CycleAccount::new();
+        breakdown.record(CostCategory::User, Cycles(user));
+        breakdown.record(CostCategory::Mgs, Cycles(mgs));
+        RunReport {
+            per_proc: vec![],
+            duration: Cycles(user + mgs),
+            breakdown,
+            lock_acquires: 0,
+            lock_hits: 0,
+            lan_messages: 0,
+            lan_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_chart_draws_bars() {
+        let r1 = report(1_000_000, 500_000);
+        let r2 = report(1_000_000, 0);
+        let s = breakdown_chart(&[(1, &r1), (32, &r2)]);
+        assert!(s.contains('U'));
+        assert!(s.contains('M'));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn series_chart_scales() {
+        let s = series_chart("hit ratio", &[(1, 0.5), (32, 1.0)], 1.0);
+        assert!(s.contains("hit ratio"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["app", "value"],
+            &[
+                vec!["jacobi".into(), "1".into()],
+                vec!["tsp".into(), "12345".into()],
+            ],
+        );
+        assert!(s.contains("jacobi"));
+        assert!(s.contains("12345"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Machine-readable harness output (JSON via serde), for downstream
+//! plotting of the regenerated figures.
+
+use mgs_core::framework::{FrameworkMetrics, SweepPoint};
+use mgs_core::CostCategory;
+use serde::Serialize;
+
+/// One serialized sweep point.
+#[derive(Debug, Serialize)]
+pub struct JsonPoint {
+    /// Cluster size `C`.
+    pub cluster_size: usize,
+    /// Execution time in cycles.
+    pub duration_cycles: u64,
+    /// Mean per-processor breakdown in cycles.
+    pub user: u64,
+    /// Lock component.
+    pub lock: u64,
+    /// Barrier component.
+    pub barrier: u64,
+    /// MGS software-coherence component.
+    pub mgs: u64,
+    /// Machine-wide lock hit ratio (Figure 11).
+    pub lock_hit_ratio: f64,
+    /// Inter-SSMP messages.
+    pub lan_messages: u64,
+    /// Inter-SSMP payload bytes.
+    pub lan_bytes: u64,
+}
+
+/// One application's serialized sweep plus framework metrics.
+#[derive(Debug, Serialize)]
+pub struct JsonSweep {
+    /// Application name.
+    pub app: String,
+    /// Total processors.
+    pub p: usize,
+    /// The sweep points in increasing cluster size.
+    pub points: Vec<JsonPoint>,
+    /// Breakup penalty (fraction).
+    pub breakup_penalty: f64,
+    /// Multigrain potential (fraction).
+    pub multigrain_potential: f64,
+    /// Curvature classification.
+    pub curvature: String,
+    /// Signed curvature value.
+    pub curvature_value: f64,
+}
+
+impl JsonSweep {
+    /// Builds the serializable record from a sweep and its metrics.
+    pub fn new(app: &str, p: usize, points: &[SweepPoint], m: &FrameworkMetrics) -> JsonSweep {
+        JsonSweep {
+            app: app.to_string(),
+            p,
+            points: points
+                .iter()
+                .map(|pt| JsonPoint {
+                    cluster_size: pt.cluster_size,
+                    duration_cycles: pt.report.duration.raw(),
+                    user: pt.report.breakdown.get(CostCategory::User).raw(),
+                    lock: pt.report.breakdown.get(CostCategory::Lock).raw(),
+                    barrier: pt.report.breakdown.get(CostCategory::Barrier).raw(),
+                    mgs: pt.report.breakdown.get(CostCategory::Mgs).raw(),
+                    lock_hit_ratio: pt.lock_hit_ratio,
+                    lan_messages: pt.report.lan_messages,
+                    lan_bytes: pt.report.lan_bytes,
+                })
+                .collect(),
+            breakup_penalty: m.breakup_penalty,
+            multigrain_potential: m.multigrain_potential,
+            curvature: m.curvature.to_string(),
+            curvature_value: m.curvature_value,
+        }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for these types).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgs_core::framework::{metrics, SweepPoint};
+    use mgs_core::{CycleAccount, Cycles, RunReport};
+
+    fn point(c: usize, cycles: u64) -> SweepPoint {
+        let mut breakdown = CycleAccount::new();
+        breakdown.record(CostCategory::User, Cycles(cycles));
+        SweepPoint {
+            cluster_size: c,
+            report: RunReport {
+                per_proc: vec![],
+                duration: Cycles(cycles),
+                breakdown,
+                lock_acquires: 0,
+                lock_hits: 0,
+                lan_messages: 5,
+                lan_bytes: 1024,
+            },
+            lock_hit_ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn serializes_a_sweep() {
+        let pts = vec![point(1, 400), point(2, 300), point(4, 200), point(8, 100)];
+        let m = metrics(&pts);
+        let j = JsonSweep::new("demo", 8, &pts, &m);
+        let s = j.to_json();
+        assert!(s.contains("\"app\": \"demo\""));
+        assert!(s.contains("\"cluster_size\": 8"));
+        assert!(s.contains("breakup_penalty"));
+        assert!(s.contains("\"lan_bytes\": 1024"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Benchmark harness for the MGS reproduction.
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `table3` | Table 3 — primitive shared-memory operation costs |
+//! | `table4` | Table 4 — applications, sequential runtimes, 32-way speedups |
+//! | `figures` | Figures 6–10 — runtime breakdowns vs. cluster size |
+//! | `fig11` | Figure 11 — MGS lock hit ratio vs. cluster size |
+//! | `fig12` | Figure 12 — Water-kernel, unmodified vs. tiled |
+//! | `summary` | Framework metrics (breakup penalty, potential, curvature) vs. paper |
+//! | `ablation` | Design-choice ablations (single-writer opt, lock affinity, page size) |
+//!
+//! All binaries accept `--p <procs>` (default 32) and `--scale <div>`
+//! (divide the problem size for quick runs; default 1 = paper sizes).
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod cli;
+pub mod json;
+pub mod suite;

@@ -1,0 +1,114 @@
+//! Cache geometry configuration.
+
+/// Geometry of a per-processor cache.
+///
+/// The default matches an Alewife node: a 64 KB cache with 16-byte
+/// lines. Alewife's cache is direct-mapped; the model defaults to
+/// 2-way associativity to compensate for the simulator's compressed
+/// address space layout (frames are allocated densely, which a
+/// direct-mapped model would punish unrealistically).
+///
+/// # Example
+///
+/// ```
+/// use mgs_cache::CacheConfig;
+///
+/// let cfg = CacheConfig::alewife();
+/// assert_eq!(cfg.line_bytes, 16);
+/// assert_eq!(cfg.total_lines(), 4096);
+/// assert_eq!(cfg.sets(), 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total cache capacity in bytes.
+    pub size_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Set associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The Alewife-node configuration: 64 KB, 16-byte lines.
+    pub fn alewife() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 16,
+            ways: 2,
+        }
+    }
+
+    /// A tiny cache useful in tests to force capacity behaviour.
+    pub fn tiny() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 256,
+            line_bytes: 16,
+            ways: 2,
+        }
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn total_lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, associativity
+    /// larger than the line count, or a non-power-of-two set count).
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.size_bytes > 0 && self.line_bytes > 0 && self.ways > 0,
+            "cache geometry must be nonzero"
+        );
+        let lines = self.total_lines();
+        assert!(self.ways <= lines, "more ways than lines");
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Number of 8-byte words per line.
+    pub fn words_per_line(&self) -> usize {
+        self.line_bytes / 8
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::alewife()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alewife_geometry() {
+        let cfg = CacheConfig::alewife();
+        assert_eq!(cfg.total_lines(), 4096);
+        assert_eq!(cfg.sets(), 2048);
+        assert_eq!(cfg.words_per_line(), 2);
+    }
+
+    #[test]
+    fn tiny_geometry() {
+        let cfg = CacheConfig::tiny();
+        assert_eq!(cfg.total_lines(), 16);
+        assert_eq!(cfg.sets(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        CacheConfig {
+            size_bytes: 48,
+            line_bytes: 16,
+            ways: 1,
+        }
+        .sets();
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-SSMP cache-line directory.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+const SHARDS: usize = 64;
+
+/// Outcome of cleaning a page's lines out of the directory
+/// (§4.2.4 of the paper: "page cleaning").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CleanOutcome {
+    /// Lines that were resident somewhere in the SSMP in shared state.
+    pub shared_lines: u64,
+    /// Lines that were dirty in some processor's cache.
+    pub dirty_lines: u64,
+    /// Lines that were not cached at all.
+    pub uncached_lines: u64,
+}
+
+/// State of one cache line within an SSMP.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask of local processors holding the line.
+    sharers: u64,
+    /// Local processor index owning the line dirty, if any.
+    owner: Option<u8>,
+}
+
+/// The SSMP's line directory: the source of truth for intra-SSMP
+/// hardware coherence state.
+///
+/// Sharded internally so that the C processors of an SSMP can perform
+/// concurrent lookups with little contention. Processor indices are
+/// *local* to the SSMP (0..C, C ≤ 64).
+///
+/// # Example
+///
+/// ```
+/// use mgs_cache::Directory;
+///
+/// let dir = Directory::new();
+/// dir.add_sharer(0x100, 2);
+/// assert!(dir.is_sharer(0x100, 2));
+/// assert!(!dir.is_sharer(0x100, 3));
+/// ```
+#[derive(Debug, Default)]
+pub struct Directory {
+    shards: Vec<Mutex<HashMap<u64, DirEntry>>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Directory {
+        Directory {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, line: u64) -> &Mutex<HashMap<u64, DirEntry>> {
+        &self.shards[(line as usize) % SHARDS]
+    }
+
+    /// Is `proc` currently a sharer of `line`?
+    pub fn is_sharer(&self, line: u64, proc: usize) -> bool {
+        self.shard(line)
+            .lock()
+            .get(&line)
+            .is_some_and(|e| e.sharers & (1 << proc) != 0)
+    }
+
+    /// Adds `proc` as a sharer of `line`. Returns the resulting number
+    /// of sharers (used for the LimitLESS overflow check).
+    pub fn add_sharer(&self, line: u64, proc: usize) -> u32 {
+        let mut shard = self.shard(line).lock();
+        let e = shard.entry(line).or_default();
+        e.sharers |= 1 << proc;
+        e.sharers.count_ones()
+    }
+
+    /// Removes `proc` as a sharer (e.g. on eviction from its cache). If
+    /// `proc` was the dirty owner, ownership is dropped (write-back).
+    pub fn remove_sharer(&self, line: u64, proc: usize) {
+        let mut shard = self.shard(line).lock();
+        if let Some(e) = shard.get_mut(&line) {
+            e.sharers &= !(1 << proc);
+            if e.owner == Some(proc as u8) {
+                e.owner = None;
+            }
+            if e.sharers == 0 {
+                shard.remove(&line);
+            }
+        }
+    }
+
+    /// Information needed to classify a miss: `(sharer_count,
+    /// dirty_owner)`.
+    pub fn probe(&self, line: u64) -> (u32, Option<usize>) {
+        let shard = self.shard(line).lock();
+        match shard.get(&line) {
+            Some(e) => (e.sharers.count_ones(), e.owner.map(|p| p as usize)),
+            None => (0, None),
+        }
+    }
+
+    /// Grants `proc` exclusive dirty ownership of `line`, invalidating
+    /// all other sharers. Returns how many other sharers were
+    /// invalidated.
+    pub fn take_exclusive(&self, line: u64, proc: usize) -> u32 {
+        let mut shard = self.shard(line).lock();
+        let e = shard.entry(line).or_default();
+        let others = (e.sharers & !(1 << proc)).count_ones();
+        e.sharers = 1 << proc;
+        e.owner = Some(proc as u8);
+        others
+    }
+
+    /// Downgrades `line` so that `proc` holds it shared (dirty data has
+    /// been written back). Other sharers are preserved.
+    pub fn downgrade(&self, line: u64, proc: usize) {
+        let mut shard = self.shard(line).lock();
+        if let Some(e) = shard.get_mut(&line) {
+            if e.owner == Some(proc as u8) {
+                e.owner = None;
+            }
+        }
+    }
+
+    /// Removes a whole page's lines from the directory (page cleaning,
+    /// §4.2.4). `lines` iterates the page's line addresses. Returns the
+    /// per-tier line counts so the caller can cost the operation.
+    pub fn clean_page<I: IntoIterator<Item = u64>>(&self, lines: I) -> CleanOutcome {
+        let mut out = CleanOutcome::default();
+        for line in lines {
+            let mut shard = self.shard(line).lock();
+            match shard.remove(&line) {
+                Some(e) if e.owner.is_some() => out.dirty_lines += 1,
+                Some(_) => out.shared_lines += 1,
+                None => out.uncached_lines += 1,
+            }
+        }
+        out
+    }
+
+    /// Marks a range of lines dirty-owned by `proc` (used when the
+    /// protocol engine at the home merges diff data through its cache).
+    pub fn mark_dirty_lines<I: IntoIterator<Item = u64>>(&self, lines: I, proc: usize) {
+        for line in lines {
+            self.take_exclusive(line, proc);
+        }
+    }
+
+    /// Total number of tracked lines (for tests/statistics).
+    pub fn tracked_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_sharers() {
+        let d = Directory::new();
+        assert_eq!(d.add_sharer(7, 0), 1);
+        assert_eq!(d.add_sharer(7, 3), 2);
+        d.remove_sharer(7, 0);
+        assert!(!d.is_sharer(7, 0));
+        assert!(d.is_sharer(7, 3));
+    }
+
+    #[test]
+    fn empty_entries_are_garbage_collected() {
+        let d = Directory::new();
+        d.add_sharer(9, 1);
+        d.remove_sharer(9, 1);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn take_exclusive_invalidates_others() {
+        let d = Directory::new();
+        d.add_sharer(5, 0);
+        d.add_sharer(5, 1);
+        d.add_sharer(5, 2);
+        let invalidated = d.take_exclusive(5, 1);
+        assert_eq!(invalidated, 2);
+        assert!(d.is_sharer(5, 1));
+        assert!(!d.is_sharer(5, 0));
+        let (n, owner) = d.probe(5);
+        assert_eq!((n, owner), (1, Some(1)));
+    }
+
+    #[test]
+    fn downgrade_clears_owner_keeps_sharer() {
+        let d = Directory::new();
+        d.take_exclusive(4, 2);
+        d.downgrade(4, 2);
+        let (n, owner) = d.probe(4);
+        assert_eq!((n, owner), (1, None));
+    }
+
+    #[test]
+    fn removing_owner_drops_ownership() {
+        let d = Directory::new();
+        d.take_exclusive(4, 2);
+        d.remove_sharer(4, 2);
+        let (n, owner) = d.probe(4);
+        assert_eq!((n, owner), (0, None));
+    }
+
+    #[test]
+    fn clean_page_classifies_lines() {
+        let d = Directory::new();
+        d.add_sharer(100, 0); // shared
+        d.take_exclusive(101, 1); // dirty
+        let out = d.clean_page(100..104);
+        assert_eq!(out.shared_lines, 1);
+        assert_eq!(out.dirty_lines, 1);
+        assert_eq!(out.uncached_lines, 2);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn probe_unknown_line() {
+        let d = Directory::new();
+        assert_eq!(d.probe(12345), (0, None));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let d = Arc::new(Directory::new());
+        let handles: Vec<_> = (0..4usize)
+            .map(|p| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for line in 0..1000u64 {
+                        d.add_sharer(line, p);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.tracked_lines(), 1000);
+        assert_eq!(d.probe(500).0, 4);
+    }
+}

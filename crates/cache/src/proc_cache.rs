@@ -1,0 +1,209 @@
+//! Per-processor set-associative tag array.
+
+use crate::CacheConfig;
+
+/// A per-processor cache tag array with LRU replacement.
+///
+/// Tracks only *which* line addresses are resident (data lives in the
+/// page frames of `mgs-vm`). The array is private to its processor's
+/// thread; coherence validity is determined by the SSMP
+/// [`Directory`](crate::Directory), so remote invalidations never need
+/// to touch this structure — a resident-but-invalidated tag simply
+/// fails the directory check on its next use.
+///
+/// # Example
+///
+/// ```
+/// use mgs_cache::{CacheConfig, ProcCache};
+///
+/// let mut cache = ProcCache::new(CacheConfig::tiny());
+/// assert!(!cache.contains(0x40));
+/// assert_eq!(cache.insert(0x40), None);
+/// assert!(cache.contains(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Slot>>,
+    tick: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Line address (address / line_bytes), or `None` if empty.
+    line: Option<u64>,
+    /// LRU timestamp.
+    last_use: u64,
+}
+
+impl ProcCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> ProcCache {
+        let sets = cfg.sets();
+        ProcCache {
+            cfg,
+            sets: vec![
+                vec![
+                    Slot {
+                        line: None,
+                        last_use: 0
+                    };
+                    cfg.ways
+                ];
+                sets
+            ],
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line as usize) & (self.sets.len() - 1)
+    }
+
+    /// Returns `true` if `line` is resident, updating its LRU position.
+    pub fn contains(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        for slot in &mut self.sets[idx] {
+            if slot.line == Some(line) {
+                slot.last_use = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line`, returning the evicted line address if a resident
+    /// line had to be displaced. Inserting a line that is already
+    /// resident refreshes it and evicts nothing.
+    pub fn insert(&mut self, line: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        // Already resident?
+        if let Some(slot) = set.iter_mut().find(|s| s.line == Some(line)) {
+            slot.last_use = tick;
+            return None;
+        }
+        // Empty way?
+        if let Some(slot) = set.iter_mut().find(|s| s.line.is_none()) {
+            *slot = Slot {
+                line: Some(line),
+                last_use: tick,
+            };
+            return None;
+        }
+        // Evict LRU.
+        let victim = set.iter_mut().min_by_key(|s| s.last_use).expect("ways > 0");
+        let evicted = victim.line;
+        *victim = Slot {
+            line: Some(line),
+            last_use: tick,
+        };
+        evicted
+    }
+
+    /// Removes `line` if resident (used when the owner itself flushes,
+    /// e.g. during page cleaning of its own pages).
+    pub fn evict(&mut self, line: u64) -> bool {
+        let idx = self.set_index(line);
+        for slot in &mut self.sets[idx] {
+            if slot.line == Some(line) {
+                slot.line = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops every resident line.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for slot in set {
+                slot.line = None;
+            }
+        }
+    }
+
+    /// Number of resident lines (O(cache size); for tests/stats).
+    pub fn resident(&self) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|s| s.line.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProcCache {
+        ProcCache::new(CacheConfig::tiny()) // 8 sets × 2 ways
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut c = tiny();
+        c.insert(5);
+        assert!(c.contains(5));
+        assert!(!c.contains(6));
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = tiny();
+        c.insert(5);
+        assert_eq!(c.insert(5), None);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn conflict_evicts_lru() {
+        let mut c = tiny();
+        // Lines 0, 8, 16 all map to set 0 (8 sets); 2 ways.
+        c.insert(0);
+        c.insert(8);
+        c.contains(0); // refresh 0 so 8 is LRU
+        let evicted = c.insert(16);
+        assert_eq!(evicted, Some(8));
+        assert!(c.contains(0));
+        assert!(c.contains(16));
+    }
+
+    #[test]
+    fn evict_removes() {
+        let mut c = tiny();
+        c.insert(3);
+        assert!(c.evict(3));
+        assert!(!c.contains(3));
+        assert!(!c.evict(3));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny();
+        for line in 0..10 {
+            c.insert(line);
+        }
+        c.clear();
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut c = tiny();
+        for line in 0..1000 {
+            c.insert(line);
+        }
+        assert!(c.resident() <= c.config().total_lines());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the intra-SSMP coherence model: random
+//! access interleavings preserve the single-writer invariant and the
+//! tag/directory consistency rules.
+
+use mgs_cache::{CacheConfig, MissClass, ProcCache, SsmpCacheSystem};
+use proptest::prelude::*;
+
+const PROCS: usize = 4;
+const LINES: u64 = 64;
+
+#[derive(Debug, Clone)]
+struct Access {
+    proc: usize,
+    line: u64,
+    home: usize,
+    write: bool,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (0..PROCS, 0..LINES, 0..PROCS, any::<bool>()).prop_map(|(proc, line, home, write)| Access {
+        proc,
+        line,
+        home,
+        write,
+    })
+}
+
+fn run(accesses: &[Access]) -> (SsmpCacheSystem, Vec<ProcCache>) {
+    let sys = SsmpCacheSystem::new(5);
+    let mut caches: Vec<ProcCache> = (0..PROCS)
+        .map(|_| ProcCache::new(CacheConfig::tiny()))
+        .collect();
+    for a in accesses {
+        sys.access(&mut caches[a.proc], a.proc, a.line, a.home, a.write);
+    }
+    (sys, caches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single-writer invariant: a dirty line has exactly one sharer —
+    /// its owner.
+    #[test]
+    fn dirty_lines_have_exactly_one_sharer(accesses in prop::collection::vec(access_strategy(), 1..200)) {
+        let (sys, _) = run(&accesses);
+        for line in 0..LINES {
+            let (sharers, owner) = sys.directory().probe(line);
+            if let Some(o) = owner {
+                prop_assert_eq!(sharers, 1, "dirty line {} has {} sharers", line, sharers);
+                prop_assert!(sys.directory().is_sharer(line, o));
+            }
+        }
+    }
+
+    /// A write is immediately followed by a hit from the same
+    /// processor (it owns the line exclusively).
+    #[test]
+    fn write_then_same_proc_access_hits(accesses in prop::collection::vec(access_strategy(), 0..100)) {
+        let (sys, mut caches) = run(&accesses);
+        sys.access(&mut caches[0], 0, 7, 1, true);
+        prop_assert_eq!(sys.access(&mut caches[0], 0, 7, 1, false), MissClass::Hit);
+        prop_assert_eq!(sys.access(&mut caches[0], 0, 7, 1, true), MissClass::Hit);
+    }
+
+    /// After a write by P, every other processor's next access misses
+    /// (their copies were invalidated through the directory).
+    #[test]
+    fn write_invalidates_all_other_copies(accesses in prop::collection::vec(access_strategy(), 0..100)) {
+        let (sys, mut caches) = run(&accesses);
+        let (first, rest) = caches.split_at_mut(1);
+        sys.access(&mut first[0], 0, 9, 0, true);
+        for (i, cache) in rest.iter_mut().enumerate() {
+            let class = sys.access(cache, i + 1, 9, 0, false);
+            prop_assert_ne!(class, MissClass::Hit, "proc {} hit a stale line", i + 1);
+            break; // only the first foreign access is guaranteed to miss
+        }
+    }
+
+    /// Cleaning a page leaves no directory state behind, whatever came
+    /// before.
+    #[test]
+    fn clean_page_clears_directory(accesses in prop::collection::vec(access_strategy(), 1..200)) {
+        let (sys, _) = run(&accesses);
+        let cost = mgs_sim::CostModel::alewife();
+        let charged = sys.clean_page(0..LINES, &cost);
+        prop_assert_eq!(sys.directory().tracked_lines(), 0);
+        prop_assert!(charged >= cost.clean_line_clean * LINES);
+        prop_assert!(charged <= cost.clean_line_dirty * LINES);
+    }
+
+    /// The per-processor tag array never exceeds its capacity.
+    #[test]
+    fn tag_arrays_respect_capacity(accesses in prop::collection::vec(access_strategy(), 1..300)) {
+        let (_, caches) = run(&accesses);
+        for c in &caches {
+            prop_assert!(c.resident() <= c.config().total_lines());
+        }
+    }
+
+    /// Access classification is always one of the Table 3 classes and
+    /// hit statistics are consistent with totals.
+    #[test]
+    fn stats_are_consistent(accesses in prop::collection::vec(access_strategy(), 1..200)) {
+        let (sys, _) = run(&accesses);
+        let stats = sys.stats();
+        let by_class: u64 = MissClass::ALL.iter().map(|&c| stats.count(c)).sum();
+        prop_assert_eq!(by_class, stats.total());
+        prop_assert_eq!(stats.total(), accesses.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&stats.hit_rate()));
+    }
+}

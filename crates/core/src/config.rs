@@ -1,0 +1,152 @@
+//! DSSMP machine configuration.
+
+use mgs_sim::{CostModel, Cycles};
+use mgs_vm::PageGeometry;
+
+/// Configuration of a DSSMP machine.
+///
+/// The paper's evaluation fixes the total processor count `P = 32` and
+/// sweeps the cluster size `C ∈ {1, 2, 4, 8, 16, 32}` with 1 KB pages
+/// and a 1000-cycle inter-SSMP message latency; those are the defaults
+/// here (except `P`, which is explicit).
+///
+/// At `C = P` the machine is a single tightly-coupled multiprocessor:
+/// following the paper's methodology, MGS calls become null calls (only
+/// software address translation remains) and the synchronization
+/// library degenerates to flat P4-style primitives.
+///
+/// # Example
+///
+/// ```
+/// use mgs_core::DssmpConfig;
+///
+/// let cfg = DssmpConfig::new(32, 8);
+/// assert_eq!(cfg.n_ssmps(), 4);
+/// assert!(!cfg.is_tightly_coupled());
+/// assert!(DssmpConfig::new(32, 32).is_tightly_coupled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DssmpConfig {
+    /// Total number of processors `P`.
+    pub n_procs: usize,
+    /// Processors per SSMP (`C`, the cluster size). Must divide `P`.
+    pub cluster_size: usize,
+    /// Page geometry (default 1 KB, §5.1).
+    pub geometry: PageGeometry,
+    /// One-way inter-SSMP message latency (default 1000 cycles, §5.2.1).
+    pub ext_latency: Cycles,
+    /// Latency constants (default: calibrated Alewife model).
+    pub cost: CostModel,
+    /// Enable the single-writer optimization (§3.1.1; on by default).
+    pub single_writer_opt: bool,
+    /// Remove read-only page cleaning from the invalidation critical
+    /// path (the future-work optimization of §4.2.4; off by default,
+    /// matching the measured prototype).
+    pub readonly_clean_opt: bool,
+    /// TreadMarks-style lazy invalidation of read copies: write notices
+    /// at releases, copies dropped at the reader's next acquire point
+    /// (extension; off by default — MGS is eager, §3.1.1).
+    pub lazy_read_invalidation: bool,
+    /// Simulated-clock skew bound between processor threads; `None`
+    /// disables the governor. Small windows keep contended resources
+    /// (locks, work queues) granted in near-simulated-time order, at
+    /// some host-side synchronization cost; 2000 cycles reproduces the
+    /// paper's tightly-coupled speedups well.
+    pub governor_window: Option<Cycles>,
+    /// Token-affinity window of the MGS lock.
+    pub lock_affinity_window: Cycles,
+    /// Seed for per-processor workload RNGs.
+    pub seed: u64,
+    /// Record every protocol message and handler occupancy into the
+    /// machine trace (see [`Machine::take_trace`](crate::Machine)).
+    /// Off by default: tracing large runs allocates heavily.
+    pub trace: bool,
+}
+
+impl DssmpConfig {
+    /// Creates a configuration with the paper's defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_size` does not divide `n_procs`, or if either
+    /// is zero.
+    pub fn new(n_procs: usize, cluster_size: usize) -> DssmpConfig {
+        assert!(n_procs > 0 && cluster_size > 0, "counts must be nonzero");
+        assert_eq!(
+            n_procs % cluster_size,
+            0,
+            "cluster size must divide the processor count"
+        );
+        DssmpConfig {
+            n_procs,
+            cluster_size,
+            geometry: PageGeometry::default(),
+            ext_latency: Cycles(1000),
+            cost: CostModel::alewife(),
+            single_writer_opt: true,
+            readonly_clean_opt: false,
+            lazy_read_invalidation: false,
+            governor_window: Some(Cycles(2_000)),
+            lock_affinity_window: mgs_sync::MgsLock::DEFAULT_AFFINITY_WINDOW,
+            seed: 0x4D47_5331, // "MGS1"
+            trace: false,
+        }
+    }
+
+    /// Number of SSMPs (`P / C`).
+    pub fn n_ssmps(&self) -> usize {
+        self.n_procs / self.cluster_size
+    }
+
+    /// `true` when the whole machine is one SSMP (`C = P`): the paper's
+    /// tightly-coupled baseline with null MGS calls.
+    pub fn is_tightly_coupled(&self) -> bool {
+        self.cluster_size == self.n_procs
+    }
+
+    /// SSMP (cluster) id of a global processor.
+    pub fn ssmp_of(&self, proc: usize) -> usize {
+        proc / self.cluster_size
+    }
+
+    /// Zero-latency external network (used by micro-measurements, which
+    /// Table 3 reports at 0-cycle inter-SSMP delay).
+    pub fn with_zero_latency(mut self) -> DssmpConfig {
+        self.ext_latency = Cycles::ZERO;
+        self
+    }
+
+    /// Overrides the external latency.
+    pub fn with_ext_latency(mut self, latency: Cycles) -> DssmpConfig {
+        self.ext_latency = latency;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = DssmpConfig::new(32, 4);
+        assert_eq!(cfg.geometry.page_bytes(), 1024);
+        assert_eq!(cfg.ext_latency, Cycles(1000));
+        assert!(cfg.single_writer_opt);
+        assert_eq!(cfg.n_ssmps(), 8);
+    }
+
+    #[test]
+    fn ssmp_of_partitions_contiguously() {
+        let cfg = DssmpConfig::new(8, 4);
+        assert_eq!(cfg.ssmp_of(0), 0);
+        assert_eq!(cfg.ssmp_of(3), 0);
+        assert_eq!(cfg.ssmp_of(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_cluster_size_panics() {
+        DssmpConfig::new(32, 5);
+    }
+}

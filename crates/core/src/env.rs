@@ -1,0 +1,491 @@
+//! The per-processor execution environment.
+
+use crate::report::ProcResult;
+use crate::runtime::RuntimeTiming;
+use crate::Machine;
+use mgs_cache::{CacheConfig, ProcCache};
+use mgs_sim::{CostCategory, CycleAccount, Cycles, ProcClock, XorShift64};
+use mgs_sync::{HwLock, MgsLock};
+use mgs_vm::{AccessKind, TlbEntry, VRange};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A fixed-point multiplier used to derive distinct RNG streams per
+/// processor.
+const RNG_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Types that can live in simulated shared memory (one 8-byte word per
+/// element).
+pub trait Word: Copy + Send + Sync + 'static {
+    /// Encodes the value into a 64-bit memory word.
+    fn to_word(self) -> u64;
+    /// Decodes the value from a 64-bit memory word.
+    fn from_word(w: u64) -> Self;
+}
+
+impl Word for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(w: u64) -> u64 {
+        w
+    }
+}
+
+impl Word for i64 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> i64 {
+        w as i64
+    }
+}
+
+impl Word for f64 {
+    fn to_word(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_word(w: u64) -> f64 {
+        f64::from_bits(w)
+    }
+}
+
+impl Word for u32 {
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> u32 {
+        w as u32
+    }
+}
+
+impl Word for usize {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> usize {
+        w as usize
+    }
+}
+
+/// A typed view of a shared allocation. `Copy`, so it can be captured
+/// by every processor's closure.
+///
+/// # Example
+///
+/// ```
+/// use mgs_core::{AccessKind, DssmpConfig, Machine};
+///
+/// let machine = Machine::new(DssmpConfig::new(2, 2));
+/// let arr = machine.alloc_array::<f64>(8, AccessKind::DistArray);
+/// machine.run(|env| {
+///     if env.pid() == 0 {
+///         arr.write(env, 3, 2.5);
+///     }
+///     env.barrier();
+///     assert_eq!(arr.read(env, 3), 2.5);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct SharedArray<T> {
+    pub(crate) range: VRange,
+    pub(crate) _elem: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedArray<T> {}
+
+impl<T: Word> SharedArray<T> {
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.range.words()
+    }
+
+    /// `true` if the array has no elements (never: allocations are
+    /// nonempty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Virtual address of element `i` (for building pointer-based
+    /// structures).
+    pub fn addr_of(&self, i: u64) -> u64 {
+        self.range.addr_of(i)
+    }
+
+    /// The underlying allocation descriptor.
+    pub fn range(&self) -> VRange {
+        self.range
+    }
+
+    /// Reads element `i` through the simulated memory system.
+    pub fn read(&self, env: &mut Env, i: u64) -> T {
+        T::from_word(env.load(self.range.addr_of(i), self.range.kind()))
+    }
+
+    /// Writes element `i` through the simulated memory system.
+    pub fn write(&self, env: &mut Env, i: u64, value: T) {
+        env.store(self.range.addr_of(i), self.range.kind(), value.to_word());
+    }
+}
+
+/// A simulated processor's execution environment.
+///
+/// One `Env` exists per processor thread during [`Machine::run`]. All
+/// simulated work flows through it: shared-memory accesses (translated,
+/// cached, faulted, and charged), synchronization, and explicit compute
+/// charging.
+#[derive(Debug)]
+pub struct Env {
+    machine: Arc<Machine>,
+    proc: usize,
+    ssmp: usize,
+    null_mgs: bool,
+    clock: ProcClock,
+    pcache: ProcCache,
+    rng: XorShift64,
+    start: (Cycles, CycleAccount),
+    next_tick: Cycles,
+    tick_stride: Cycles,
+}
+
+impl Env {
+    pub(crate) fn new(machine: Arc<Machine>, proc: usize) -> Env {
+        let cfg = machine.config();
+        let ssmp = cfg.ssmp_of(proc);
+        let null_mgs = cfg.is_tightly_coupled();
+        let rng = XorShift64::new(cfg.seed ^ (proc as u64).wrapping_mul(RNG_STREAM) | 1);
+        let tick_stride = cfg
+            .governor_window
+            .map(|w| Cycles((w.raw() / 4).max(1)))
+            .unwrap_or(Cycles::MAX);
+        Env {
+            machine,
+            proc,
+            ssmp,
+            null_mgs,
+            clock: ProcClock::new(),
+            pcache: ProcCache::new(CacheConfig::alewife()),
+            rng,
+            start: (Cycles::ZERO, CycleAccount::new()),
+            next_tick: Cycles::ZERO,
+            tick_stride,
+        }
+    }
+
+    /// This processor's global id (`0..P`).
+    pub fn pid(&self) -> usize {
+        self.proc
+    }
+
+    /// Total processor count `P`.
+    pub fn nprocs(&self) -> usize {
+        self.machine.config().n_procs
+    }
+
+    /// This processor's SSMP (cluster) id.
+    pub fn cluster(&self) -> usize {
+        self.ssmp
+    }
+
+    /// Processors per SSMP (`C`).
+    pub fn cluster_size(&self) -> usize {
+        self.machine.config().cluster_size
+    }
+
+    /// Number of SSMPs (`P / C`).
+    pub fn n_clusters(&self) -> usize {
+        self.machine.config().n_ssmps()
+    }
+
+    /// This processor's index within its SSMP.
+    pub fn local_index(&self) -> usize {
+        self.proc % self.cluster_size()
+    }
+
+    /// The processor's current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// The machine this environment belongs to.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// This processor's deterministic workload RNG.
+    pub fn rng(&mut self) -> &mut XorShift64 {
+        &mut self.rng
+    }
+
+    /// Charges `cycles` of computation to user time (the simulator's
+    /// stand-in for instruction execution between shared accesses).
+    pub fn compute(&mut self, cycles: u64) {
+        self.clock.charge(CostCategory::User, Cycles(cycles));
+        self.maybe_tick();
+    }
+
+    /// Marks the start of the measured region (typically right after an
+    /// initialization barrier); the run report covers work from here.
+    pub fn start_measurement(&mut self) {
+        self.start = (self.clock.now(), *self.clock.account());
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accesses
+    // ------------------------------------------------------------------
+
+    /// Loads the 64-bit word at virtual address `va`.
+    pub fn load(&mut self, va: u64, kind: AccessKind) -> u64 {
+        self.access(va, kind, false, 0)
+    }
+
+    /// Stores a 64-bit word at virtual address `va`.
+    pub fn store(&mut self, va: u64, kind: AccessKind, value: u64) {
+        self.access(va, kind, true, value);
+    }
+
+    fn access(&mut self, va: u64, kind: AccessKind, write: bool, value: u64) -> u64 {
+        self.maybe_tick();
+        let geometry = self.machine.config().geometry;
+        let cluster_size = self.machine.config().cluster_size;
+        // In-lined software translation (§4.2.1): user time.
+        let xlate = match kind {
+            AccessKind::DistArray => self.machine.config().cost.xlate_array,
+            AccessKind::Pointer => self.machine.config().cost.xlate_pointer,
+        };
+        self.clock.charge(CostCategory::User, xlate);
+
+        let page = geometry.page_of(va);
+        let mut entry = match self.machine.protocol().tlb(self.proc).lookup(page, write) {
+            Some(e) => e,
+            None => self.fault(page, write),
+        };
+        // Perform the access under the frame's guard, re-validating the
+        // mapping generation: a mapping cloned just before a shootdown
+        // must re-fault rather than touch a retired copy (the
+        // translation critical section of §4.2.1). An invalidation
+        // bumps the generation under the exclusive guard, so a store
+        // that lands here is always covered by the subsequent diff.
+        let word = geometry.word_offset(va);
+        loop {
+            let frame = entry.frame.clone();
+            let guard = frame.begin_access();
+            if frame.generation() == entry.gen {
+                // Intra-SSMP hardware coherence: classify and charge the
+                // stall (hardware shared-memory time counts as user
+                // time, §5.2.1).
+                let line = frame.line_of_word(word);
+                let home_local = frame.home_node() % cluster_size;
+                let my_local = self.proc % cluster_size;
+                let machine = Arc::clone(&self.machine);
+                let class = machine.protocol().cache_system(self.ssmp).access(
+                    &mut self.pcache,
+                    my_local,
+                    line,
+                    home_local,
+                    write,
+                );
+                self.clock
+                    .charge(CostCategory::User, class.cost(&machine.config().cost));
+                let result = if write {
+                    frame.store(word, value);
+                    value
+                } else {
+                    frame.load(word)
+                };
+                drop(guard);
+                return result;
+            }
+            drop(guard);
+            entry = self.fault(page, write);
+        }
+    }
+
+    fn fault(&mut self, page: u64, write: bool) -> TlbEntry {
+        if self.null_mgs {
+            // Tightly-coupled baseline (§5.2.1): MGS calls are null; the
+            // remaining cost is the software-VM page-table fill, which
+            // the paper folds into user time.
+            let cost = &self.machine.config().cost;
+            self.clock.charge(CostCategory::User, cost.tlb_fill_cost());
+            let frame = self.machine.protocol().home_frame(page);
+            let entry = TlbEntry {
+                gen: frame.generation(),
+                frame,
+                writable: true,
+            };
+            self.machine
+                .protocol()
+                .tlb(self.proc)
+                .insert(page, entry.clone());
+            return entry;
+        }
+        let mut timing = RuntimeTiming {
+            clock: &mut self.clock,
+            machine: &self.machine,
+            proc: self.proc,
+        };
+        self.machine
+            .protocol()
+            .fault(self.proc, page, write, &mut timing)
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Acquires an MGS lock; blocks until granted and charges the wait
+    /// to lock time.
+    pub fn acquire(&mut self, lock: &MgsLock) {
+        self.maybe_tick();
+        self.gov_blocked();
+        let (granted, _hit) = lock.acquire(self.ssmp, self.clock.now());
+        self.gov_unblocked();
+        self.clock.advance_to(CostCategory::Lock, granted);
+        self.acquire_sync();
+    }
+
+    /// Releases an MGS lock. A release point under eager release
+    /// consistency: the delayed update queue is flushed *before* the
+    /// lock is handed over, which is exactly the paper's
+    /// critical-section dilation.
+    pub fn release(&mut self, lock: &MgsLock) {
+        self.flush();
+        self.clock.charge(
+            CostCategory::Lock,
+            self.machine.config().cost.lock_local_release,
+        );
+        lock.release(self.clock.now());
+    }
+
+    /// Acquires an intra-SSMP hardware lock (no software coherence
+    /// actions; see [`HwLock`] for when this is correct).
+    pub fn acquire_hw(&mut self, lock: &HwLock) {
+        self.maybe_tick();
+        self.gov_blocked();
+        let granted = lock.acquire(self.clock.now());
+        self.gov_unblocked();
+        self.clock.advance_to(CostCategory::Lock, granted);
+    }
+
+    /// Releases an intra-SSMP hardware lock (not a release point: the
+    /// delayed update queue is untouched).
+    pub fn release_hw(&mut self, lock: &HwLock) {
+        self.clock.charge(
+            CostCategory::Lock,
+            self.machine.config().cost.lock_local_release,
+        );
+        lock.release(self.clock.now());
+    }
+
+    /// Waits at the machine-wide barrier (also a release point, and —
+    /// under lazy read invalidation — an acquire point that drains
+    /// pending write notices).
+    pub fn barrier(&mut self) {
+        self.flush();
+        self.maybe_tick();
+        self.gov_blocked();
+        let released = self.machine.barrier_obj().arrive(self.clock.now());
+        self.gov_unblocked();
+        self.clock.advance_to(CostCategory::Barrier, released);
+        self.acquire_sync();
+    }
+
+    /// Waits at the machine-wide barrier *without* performing a release
+    /// (no DUQ flush). Not a correct release point under release
+    /// consistency — this exists for instrumentation scripts (the
+    /// Table 3 micro-measurements) that need to sequence processors
+    /// without disturbing protocol state. Application code should use
+    /// [`barrier`](Env::barrier).
+    pub fn barrier_sync_only(&mut self) {
+        self.maybe_tick();
+        self.gov_blocked();
+        let released = self.machine.barrier_obj().arrive(self.clock.now());
+        self.gov_unblocked();
+        self.clock.advance_to(CostCategory::Barrier, released);
+    }
+
+    /// Acquire-side coherence (a no-op except under lazy read
+    /// invalidation): drop stale read copies noticed by releases.
+    fn acquire_sync(&mut self) {
+        if self.null_mgs || !self.machine.config().lazy_read_invalidation {
+            return;
+        }
+        let mut timing = RuntimeTiming {
+            clock: &mut self.clock,
+            machine: &self.machine,
+            proc: self.proc,
+        };
+        self.machine.protocol().acquire_sync(self.proc, &mut timing);
+    }
+
+    /// Flushes this processor's delayed update queue (a release
+    /// operation, charged to MGS time). A no-op on the tightly-coupled
+    /// baseline.
+    pub fn flush(&mut self) {
+        if self.null_mgs {
+            return;
+        }
+        let mut timing = RuntimeTiming {
+            clock: &mut self.clock,
+            machine: &self.machine,
+            proc: self.proc,
+        };
+        self.machine.protocol().release_all(self.proc, &mut timing);
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    fn maybe_tick(&mut self) {
+        if self.tick_stride == Cycles::MAX {
+            return; // governor disabled
+        }
+        if self.clock.now() >= self.next_tick {
+            if let Some(gov) = self.machine.governor() {
+                gov.tick(self.proc, self.clock.now());
+            }
+            self.next_tick = self.clock.now() + self.tick_stride;
+        }
+    }
+
+    fn gov_blocked(&self) {
+        if let Some(gov) = self.machine.governor() {
+            gov.blocked(self.proc);
+        }
+    }
+
+    fn gov_unblocked(&self) {
+        if let Some(gov) = self.machine.governor() {
+            gov.unblocked(self.proc);
+        }
+    }
+
+    pub(crate) fn finish(self) -> ProcResult {
+        if let Some(gov) = self.machine.governor() {
+            gov.finished(self.proc);
+        }
+        let (start_time, start_account) = self.start;
+        let mut delta = CycleAccount::new();
+        for c in CostCategory::ALL {
+            delta.record(
+                c,
+                self.clock
+                    .account()
+                    .get(c)
+                    .saturating_sub(start_account.get(c)),
+            );
+        }
+        ProcResult {
+            start: start_time,
+            end: self.clock.now(),
+            account: delta,
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The DSSMP machine.
+
+use crate::env::{Env, SharedArray, Word};
+use crate::report::RunReport;
+use crate::trace::TraceEvent;
+use crate::DssmpConfig;
+use mgs_net::LanModel;
+use mgs_proto::{MgsProtocol, ProtoConfig, ProtoStats};
+use mgs_sim::{Occupancy, TimeGovernor};
+use mgs_sync::{HwLock, MgsBarrier, MgsLock};
+use mgs_vm::{AccessKind, SharedHeap};
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A Distributed Scalable Shared-memory Multiprocessor.
+///
+/// Owns every piece of simulated machine state: the MGS protocol (which
+/// in turn owns page tables, TLBs, DUQs and cache directories), the LAN
+/// model, per-node protocol-engine occupancies, the shared heap, the
+/// synchronization primitives, and the optional time governor.
+///
+/// Construct with [`Machine::new`], allocate shared data with
+/// [`alloc_array`](Machine::alloc_array) and locks with
+/// [`new_lock`](Machine::new_lock), then execute with
+/// [`run`](Machine::run). A machine is intended for **one** `run` call;
+/// simulated state (caches, protocol statistics, resource clocks)
+/// persists across calls, so sweeps construct a fresh machine per
+/// configuration.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: DssmpConfig,
+    proto: Arc<MgsProtocol>,
+    lan: Arc<LanModel>,
+    engines: Vec<Arc<Occupancy>>,
+    heap: SharedHeap,
+    barrier: Arc<MgsBarrier>,
+    governor: Option<Arc<TimeGovernor>>,
+    locks: Mutex<Vec<Arc<MgsLock>>>,
+    trace: Option<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: DssmpConfig) -> Arc<Machine> {
+        let mut pcfg = ProtoConfig::new(cfg.n_ssmps(), cfg.cluster_size);
+        pcfg.geometry = cfg.geometry;
+        pcfg.cost = cfg.cost.clone();
+        pcfg.single_writer_opt = cfg.single_writer_opt;
+        pcfg.readonly_clean_opt = cfg.readonly_clean_opt;
+        pcfg.lazy_read_invalidation = cfg.lazy_read_invalidation;
+        let proto = Arc::new(MgsProtocol::new(pcfg));
+        let lan = Arc::new(LanModel::new(cfg.n_ssmps(), cfg.ext_latency));
+        let engines = (0..cfg.n_procs)
+            .map(|_| Arc::new(Occupancy::new()))
+            .collect();
+        let heap = SharedHeap::new(cfg.geometry);
+        let barrier = Arc::new(MgsBarrier::new(
+            cfg.cost.clone(),
+            cfg.ext_latency,
+            cfg.n_ssmps(),
+            cfg.cluster_size,
+        ));
+        let governor = cfg
+            .governor_window
+            .map(|w| Arc::new(TimeGovernor::new(cfg.n_procs, w)));
+        let trace = cfg.trace.then(|| Mutex::new(Vec::new()));
+        Arc::new(Machine {
+            cfg,
+            proto,
+            lan,
+            engines,
+            heap,
+            barrier,
+            governor,
+            locks: Mutex::new(Vec::new()),
+            trace,
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &DssmpConfig {
+        &self.cfg
+    }
+
+    /// The MGS protocol instance (for statistics and inspection).
+    pub fn protocol(&self) -> &Arc<MgsProtocol> {
+        &self.proto
+    }
+
+    /// Protocol event statistics.
+    pub fn proto_stats(&self) -> &ProtoStats {
+        self.proto.stats()
+    }
+
+    /// The external network model.
+    pub fn lan(&self) -> &Arc<LanModel> {
+        &self.lan
+    }
+
+    pub(crate) fn engines(&self) -> &[Arc<Occupancy>] {
+        &self.engines
+    }
+
+    pub(crate) fn barrier_obj(&self) -> &Arc<MgsBarrier> {
+        &self.barrier
+    }
+
+    pub(crate) fn governor(&self) -> Option<&Arc<TimeGovernor>> {
+        self.governor.as_ref()
+    }
+
+    pub(crate) fn record_trace(&self, event: TraceEvent) {
+        if let Some(t) = &self.trace {
+            t.lock().push(event);
+        }
+    }
+
+    pub(crate) fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Takes the accumulated protocol trace (empty unless
+    /// [`DssmpConfig::trace`] was enabled). Events are ordered by when
+    /// the runtime recorded them, not globally by simulated time — sort
+    /// by `time` per processor for a per-processor timeline.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        match &self.trace {
+            Some(t) => std::mem::take(&mut *t.lock()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Allocates a shared array of `len` elements, packed contiguously
+    /// on the shared heap (adjacent allocations share pages, exactly as
+    /// with the paper's `malloc`-based applications).
+    pub fn alloc_array<T: Word>(&self, len: u64, kind: AccessKind) -> SharedArray<T> {
+        SharedArray {
+            range: self.heap.alloc(len, kind),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Allocates a shared array starting on a fresh page boundary.
+    pub fn alloc_array_pages<T: Word>(&self, len: u64, kind: AccessKind) -> SharedArray<T> {
+        SharedArray {
+            range: self.heap.alloc_pages(len, kind),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Allocates a page-aligned shared array whose pages are **homed by
+    /// an explicit distribution**: `home_of_page(i)` gives the global
+    /// processor that homes the array's `i`-th page. This is how the
+    /// paper's applications lay out their data ("a global molecule
+    /// array is distributed amongst processors", §5.2.1): a block's
+    /// pages live at its owner, so releases of privately-written pages
+    /// stay SSMP-local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a returned home node is out of range or a page was
+    /// already touched.
+    pub fn alloc_array_homed<T: Word>(
+        &self,
+        len: u64,
+        kind: AccessKind,
+        home_of_page: impl Fn(u64) -> usize,
+    ) -> SharedArray<T> {
+        let arr = self.alloc_array_pages::<T>(len, kind);
+        let geom = self.cfg.geometry;
+        let first_page = geom.page_of(arr.addr_of(0));
+        let n_pages = geom.pages_for(len * 8);
+        for i in 0..n_pages {
+            self.proto.set_home(first_page + i, home_of_page(i));
+        }
+        arr
+    }
+
+    /// Allocates a page-aligned shared array block-distributed over all
+    /// processors: page `i` of the array is homed at the processor that
+    /// owns the corresponding element block (the common case of
+    /// [`alloc_array_homed`](Machine::alloc_array_homed)).
+    pub fn alloc_array_blocked<T: Word>(&self, len: u64, kind: AccessKind) -> SharedArray<T> {
+        let geom = self.cfg.geometry;
+        let n_pages = geom.pages_for(len * 8).max(1);
+        let p = self.cfg.n_procs as u64;
+        self.alloc_array_homed(len, kind, |page| ((page * p) / n_pages) as usize)
+    }
+
+    /// Creates (and registers, for hit-ratio statistics) a new MGS
+    /// token-based lock.
+    pub fn new_lock(&self) -> Arc<MgsLock> {
+        let lock = Arc::new(
+            MgsLock::new(
+                self.cfg.cost.clone(),
+                self.cfg.ext_latency,
+                self.cfg.n_ssmps(),
+            )
+            .with_affinity_window(self.cfg.lock_affinity_window),
+        );
+        self.locks.lock().push(Arc::clone(&lock));
+        lock
+    }
+
+    /// Creates an intra-SSMP hardware lock (see
+    /// [`HwLock`](mgs_sync::HwLock); not counted in the MGS lock
+    /// hit-ratio statistics, since it never communicates between
+    /// SSMPs).
+    pub fn new_hw_lock(&self) -> std::sync::Arc<HwLock> {
+        std::sync::Arc::new(HwLock::new(self.cfg.cost.clone()))
+    }
+
+    /// Aggregate lock statistics over every lock created so far:
+    /// `(total_acquires, hits)`.
+    pub fn lock_totals(&self) -> (u64, u64) {
+        let locks = self.locks.lock();
+        let mut acquires = 0;
+        let mut hits = 0;
+        for l in locks.iter() {
+            acquires += l.stats().acquires.get();
+            hits += l.stats().hits.get();
+        }
+        (acquires, hits)
+    }
+
+    /// The machine-wide lock hit ratio (Figure 11); 1.0 when no lock
+    /// has been used.
+    pub fn lock_hit_ratio(&self) -> f64 {
+        let (acquires, hits) = self.lock_totals();
+        if acquires == 0 {
+            1.0
+        } else {
+            hits as f64 / acquires as f64
+        }
+    }
+
+    /// Reads element `i` of a shared array directly from its home copy,
+    /// bypassing the timing model (instrumentation: result
+    /// verification after a run — home copies are current once every
+    /// processor has passed a final barrier).
+    pub fn peek<T: Word>(&self, arr: &SharedArray<T>, i: u64) -> T {
+        let va = arr.addr_of(i);
+        let geom = self.cfg.geometry;
+        let frame = self.proto.home_frame(geom.page_of(va));
+        T::from_word(frame.load(geom.word_offset(va)))
+    }
+
+    /// Writes element `i` of a shared array directly into its home
+    /// copy, bypassing the timing model (instrumentation: workload
+    /// initialization *before* a run, while no SSMP holds a copy).
+    pub fn poke<T: Word>(&self, arr: &SharedArray<T>, i: u64, value: T) {
+        let va = arr.addr_of(i);
+        let geom = self.cfg.geometry;
+        let frame = self.proto.home_frame(geom.page_of(va));
+        frame.store(geom.word_offset(va), value.to_word());
+    }
+
+    /// Runs `body` on every simulated processor (one OS thread each)
+    /// and collects the run report. The closure receives each
+    /// processor's [`Env`].
+    pub fn run<F>(self: &Arc<Machine>, body: F) -> RunReport
+    where
+        F: Fn(&mut Env) + Sync,
+    {
+        let n = self.cfg.n_procs;
+        let mut results: Vec<Option<crate::report::ProcResult>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for proc in 0..n {
+                let machine = Arc::clone(self);
+                let body = &body;
+                handles.push(scope.spawn(move |_| {
+                    let mut env = Env::new(machine, proc);
+                    body(&mut env);
+                    env.finish()
+                }));
+            }
+            for (proc, h) in handles.into_iter().enumerate() {
+                results[proc] = Some(h.join().expect("processor thread panicked"));
+            }
+        })
+        .expect("simulation scope panicked");
+        RunReport::from_procs(
+            results.into_iter().map(|r| r.expect("joined")).collect(),
+            self.lock_totals(),
+            (
+                self.lan.stats().total_msgs(),
+                self.lan.stats().total_bytes(),
+            ),
+        )
+    }
+}

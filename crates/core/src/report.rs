@@ -1,0 +1,166 @@
+//! Run reports: execution time and the four-way runtime breakdown.
+
+use mgs_sim::{CostCategory, CycleAccount, Cycles};
+use std::fmt;
+
+/// Per-processor result collected when a simulated processor finishes.
+#[derive(Debug, Clone)]
+pub(crate) struct ProcResult {
+    /// Simulated time at the start of the measured region.
+    pub start: Cycles,
+    /// Simulated time when the processor finished.
+    pub end: Cycles,
+    /// Cycle account accumulated over the measured region.
+    pub account: CycleAccount,
+}
+
+/// The result of one [`Machine::run`](crate::Machine::run): execution
+/// time and the paper's User / Lock / Barrier / MGS breakdown
+/// (Figures 6–10 and 12).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-processor cycle accounts over the measured region.
+    pub per_proc: Vec<CycleAccount>,
+    /// Execution time: the maximum measured-region length over all
+    /// processors.
+    pub duration: Cycles,
+    /// Per-processor *mean* breakdown; when the program ends with a
+    /// barrier (all the paper's applications do), the breakdown total
+    /// equals the execution time.
+    pub breakdown: CycleAccount,
+    /// Total lock acquires across all machine locks.
+    pub lock_acquires: u64,
+    /// Lock acquires that needed no inter-SSMP communication.
+    pub lock_hits: u64,
+    /// Inter-SSMP protocol messages sent during the run.
+    pub lan_messages: u64,
+    /// Payload bytes carried by those messages.
+    pub lan_bytes: u64,
+}
+
+impl RunReport {
+    pub(crate) fn from_procs(
+        results: Vec<ProcResult>,
+        lock_totals: (u64, u64),
+        lan_totals: (u64, u64),
+    ) -> RunReport {
+        let n = results.len().max(1) as u64;
+        let duration = results
+            .iter()
+            .map(|r| r.end.saturating_sub(r.start))
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        let mut sum = CycleAccount::new();
+        for r in &results {
+            sum.merge(&r.account);
+        }
+        let mut breakdown = CycleAccount::new();
+        for c in CostCategory::ALL {
+            breakdown.record(c, sum.get(c) / n);
+        }
+        RunReport {
+            per_proc: results.into_iter().map(|r| r.account).collect(),
+            duration,
+            breakdown,
+            lock_acquires: lock_totals.0,
+            lock_hits: lock_totals.1,
+            lan_messages: lan_totals.0,
+            lan_bytes: lan_totals.1,
+        }
+    }
+
+    /// The lock hit ratio of this run (Figure 11); 1.0 when no locks
+    /// were used.
+    pub fn lock_hit_ratio(&self) -> f64 {
+        if self.lock_acquires == 0 {
+            1.0
+        } else {
+            self.lock_hits as f64 / self.lock_acquires as f64
+        }
+    }
+
+    /// Fraction of mean execution spent in a category.
+    pub fn fraction(&self, category: CostCategory) -> f64 {
+        self.breakdown.fraction(category)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "duration: {:.3} Mcycles ({} procs)",
+            self.duration.as_mcycles(),
+            self.per_proc.len()
+        )?;
+        for (cat, cyc) in self.breakdown.iter() {
+            writeln!(
+                f,
+                "  {:>8}: {:>12.3} Mcycles ({:5.1}%)",
+                cat.label(),
+                cyc.as_mcycles(),
+                100.0 * self.breakdown.fraction(cat)
+            )?;
+        }
+        write!(
+            f,
+            "  locks: {} acquires, hit ratio {:.3}; LAN: {} msgs, {} KiB",
+            self.lock_acquires,
+            self.lock_hit_ratio(),
+            self.lan_messages,
+            self.lan_bytes / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(start: u64, end: u64, user: u64) -> ProcResult {
+        let mut account = CycleAccount::new();
+        account.record(CostCategory::User, Cycles(user));
+        ProcResult {
+            start: Cycles(start),
+            end: Cycles(end),
+            account,
+        }
+    }
+
+    #[test]
+    fn duration_is_max_region() {
+        let r = RunReport::from_procs(
+            vec![result(0, 100, 100), result(10, 250, 240)],
+            (0, 0),
+            (0, 0),
+        );
+        assert_eq!(r.duration, Cycles(240));
+    }
+
+    #[test]
+    fn breakdown_is_per_proc_mean() {
+        let r = RunReport::from_procs(
+            vec![result(0, 100, 100), result(0, 100, 50)],
+            (0, 0),
+            (0, 0),
+        );
+        assert_eq!(r.breakdown.get(CostCategory::User), Cycles(75));
+    }
+
+    #[test]
+    fn hit_ratio_defaults_to_one() {
+        let r = RunReport::from_procs(vec![result(0, 1, 1)], (0, 0), (0, 0));
+        assert_eq!(r.lock_hit_ratio(), 1.0);
+        let r2 = RunReport::from_procs(vec![result(0, 1, 1)], (10, 4), (0, 0));
+        assert!((r2.lock_hit_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_categories() {
+        let r = RunReport::from_procs(vec![result(0, 10, 10)], (0, 0), (0, 0));
+        let s = r.to_string();
+        for label in ["User", "Lock", "Barrier", "MGS"] {
+            assert!(s.contains(label), "missing {label}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The runtime [`ProtoTiming`] implementation: charges protocol work to
+//! the faulting processor's clock, serializes handler work on remote
+//! protocol engines, and routes inter-SSMP messages through the LAN.
+
+use crate::trace::{TraceEvent, TraceKind};
+use crate::Machine;
+use mgs_net::MsgKind;
+use mgs_proto::ProtoTiming;
+use mgs_sim::{CostCategory, Cycles, ProcClock};
+
+pub(crate) struct RuntimeTiming<'a> {
+    pub clock: &'a mut ProcClock,
+    pub machine: &'a Machine,
+    pub proc: usize,
+}
+
+impl ProtoTiming for RuntimeTiming<'_> {
+    fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    fn local(&mut self, cycles: Cycles) {
+        self.clock.charge(CostCategory::Mgs, cycles);
+    }
+
+    fn message(&mut self, from: usize, to: usize, kind: MsgKind, payload_bytes: u64) {
+        if self.machine.tracing() {
+            self.machine.record_trace(TraceEvent {
+                proc: self.proc,
+                time: self.clock.now(),
+                kind: TraceKind::Message {
+                    from,
+                    to,
+                    kind,
+                    bytes: payload_bytes,
+                },
+            });
+        }
+        let cost = &self.machine.config().cost;
+        if from == to {
+            self.clock.charge(CostCategory::Mgs, cost.intra_msg);
+            return;
+        }
+        self.clock.charge(CostCategory::Mgs, cost.msg_send);
+        let arrival = self
+            .machine
+            .lan()
+            .send(from, to, kind, payload_bytes, self.clock.now());
+        self.clock.advance_to(CostCategory::Mgs, arrival);
+        self.clock.charge(CostCategory::Mgs, cost.msg_recv);
+    }
+
+    fn node_work(&mut self, node: usize, cycles: Cycles) {
+        if self.machine.tracing() {
+            self.machine.record_trace(TraceEvent {
+                proc: self.proc,
+                time: self.clock.now(),
+                kind: TraceKind::NodeWork { node, cycles },
+            });
+        }
+        if node == self.proc {
+            // Work on the requesting processor itself.
+            self.clock.charge(CostCategory::Mgs, cycles);
+            return;
+        }
+        // Serialize on the remote node's protocol engine; contention
+        // shows up as queueing delay on the requester's clock.
+        let (_, end) = self.machine.engines()[node].occupy(self.clock.now(), cycles);
+        self.clock.advance_to(CostCategory::Mgs, end);
+    }
+
+    fn wait_until(&mut self, instant: Cycles) {
+        self.clock.advance_to(CostCategory::Mgs, instant);
+    }
+
+    fn block_begin(&mut self) {
+        if let Some(gov) = self.machine.governor() {
+            gov.blocked(self.proc);
+        }
+    }
+
+    fn block_end(&mut self) {
+        if let Some(gov) = self.machine.governor() {
+            gov.unblocked(self.proc);
+        }
+    }
+}

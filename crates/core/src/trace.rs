@@ -1,0 +1,74 @@
+//! Optional protocol event tracing.
+//!
+//! When [`DssmpConfig::trace`](crate::DssmpConfig) is enabled, the
+//! runtime records every protocol message and remote-handler occupancy
+//! with the acting processor and its simulated time — a
+//! machine-level version of the per-transaction traces that
+//! [`RecordingTiming`](mgs_proto::RecordingTiming) provides for
+//! isolated protocol calls. Useful for debugging applications'
+//! coherence behaviour and for teaching (see the `protocol_trace`
+//! example for the single-transaction flavour).
+
+use mgs_net::MsgKind;
+use mgs_sim::Cycles;
+use std::fmt;
+
+/// One traced runtime event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The simulated processor whose transaction generated the event.
+    pub proc: usize,
+    /// That processor's simulated time when the event was charged.
+    pub time: Cycles,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The traced event kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A protocol message between SSMPs (or within one, `from == to`).
+    Message {
+        /// Sending SSMP.
+        from: usize,
+        /// Receiving SSMP.
+        to: usize,
+        /// Protocol message type (Table 2).
+        kind: MsgKind,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Handler or data-movement work serialized at a node's protocol
+    /// engine.
+    NodeWork {
+        /// Global processor id of the engine.
+        node: usize,
+        /// Service time.
+        cycles: Cycles,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceKind::Message {
+                from,
+                to,
+                kind,
+                bytes,
+            } => write!(
+                f,
+                "[p{:02} @{:>10}] {kind} SSMP {from} -> {to} ({bytes} B)",
+                self.proc,
+                self.time.raw()
+            ),
+            TraceKind::NodeWork { node, cycles } => write!(
+                f,
+                "[p{:02} @{:>10}] handler at node {node} ({} cyc)",
+                self.proc,
+                self.time.raw(),
+                cycles.raw()
+            ),
+        }
+    }
+}

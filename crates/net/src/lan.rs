@@ -1,0 +1,151 @@
+//! External (inter-SSMP) network: the LAN model of §4.2.2.
+
+use crate::{MsgKind, NetStats};
+use mgs_sim::{Cycles, Occupancy};
+
+/// The external network connecting SSMPs.
+///
+/// Reproduces the paper's methodology (§4.2.2): every inter-SSMP message
+/// is delayed by a fixed latency (default **1000 cycles**, the value
+/// used for all application results). The paper explicitly does *not*
+/// model contention in the LAN fabric; we follow that, but optionally
+/// model occupancy at each SSMP's network *interface* (serialization of
+/// outgoing messages), which is disabled by default for fidelity to the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use mgs_net::{LanModel, MsgKind};
+/// use mgs_sim::Cycles;
+///
+/// let lan = LanModel::new(4, Cycles(1000));
+/// let arrive = lan.send(0, 2, MsgKind::RReq, 0, Cycles(500));
+/// assert_eq!(arrive, Cycles(1500));
+/// assert_eq!(lan.stats().msgs(MsgKind::RReq), 1);
+/// ```
+#[derive(Debug)]
+pub struct LanModel {
+    latency: Cycles,
+    per_byte: Cycles,
+    interfaces: Option<Vec<Occupancy>>,
+    iface_service: Cycles,
+    stats: NetStats,
+}
+
+impl LanModel {
+    /// Creates a LAN between `n_ssmps` SSMPs with the given fixed
+    /// one-way latency and no interface contention (the paper's model).
+    pub fn new(n_ssmps: usize, latency: Cycles) -> LanModel {
+        let _ = n_ssmps; // interface vector only allocated when enabled
+        LanModel {
+            latency,
+            per_byte: Cycles::ZERO,
+            interfaces: None,
+            iface_service: Cycles::ZERO,
+            stats: NetStats::new(),
+        }
+    }
+
+    /// Enables per-SSMP interface occupancy: each outgoing message holds
+    /// the sender's interface for `service` cycles, so bursts queue.
+    pub fn with_interface_contention(mut self, n_ssmps: usize, service: Cycles) -> LanModel {
+        self.interfaces = Some((0..n_ssmps).map(|_| Occupancy::new()).collect());
+        self.iface_service = service;
+        self
+    }
+
+    /// Adds a per-payload-byte wire cost (0 by default: the paper models
+    /// latency only).
+    pub fn with_per_byte(mut self, per_byte: Cycles) -> LanModel {
+        self.per_byte = per_byte;
+        self
+    }
+
+    /// The fixed one-way latency.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Sends a message from SSMP `src` to SSMP `dst` at local time
+    /// `now`; returns the simulated arrival time at `dst`.
+    ///
+    /// Messages within one SSMP (`src == dst`) do not use the LAN and
+    /// arrive immediately.
+    pub fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        kind: MsgKind,
+        payload_bytes: u64,
+        now: Cycles,
+    ) -> Cycles {
+        if src == dst {
+            return now;
+        }
+        self.stats.record(kind, payload_bytes);
+        let mut depart = now;
+        if let Some(ifaces) = &self.interfaces {
+            let (_, end) = ifaces[src].occupy(now, self.iface_service);
+            depart = end;
+        }
+        depart + self.latency + self.per_byte * payload_bytes
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_added() {
+        let lan = LanModel::new(2, Cycles(1000));
+        assert_eq!(lan.send(0, 1, MsgKind::Inv, 0, Cycles(0)), Cycles(1000));
+        assert_eq!(lan.send(1, 0, MsgKind::Ack, 0, Cycles(70)), Cycles(1070));
+    }
+
+    #[test]
+    fn intra_ssmp_messages_bypass_lan() {
+        let lan = LanModel::new(2, Cycles(1000));
+        assert_eq!(lan.send(1, 1, MsgKind::PInv, 0, Cycles(5)), Cycles(5));
+        assert_eq!(lan.stats().total_msgs(), 0);
+    }
+
+    #[test]
+    fn per_byte_cost_scales_with_payload() {
+        let lan = LanModel::new(2, Cycles(100)).with_per_byte(Cycles(2));
+        assert_eq!(lan.send(0, 1, MsgKind::RDat, 10, Cycles(0)), Cycles(120));
+    }
+
+    #[test]
+    fn interface_contention_queues_bursts() {
+        let lan = LanModel::new(2, Cycles(1000)).with_interface_contention(2, Cycles(50));
+        let a = lan.send(0, 1, MsgKind::Inv, 0, Cycles(0));
+        let b = lan.send(0, 1, MsgKind::Inv, 0, Cycles(0));
+        assert_eq!(a, Cycles(1050));
+        assert_eq!(b, Cycles(1100));
+        // Different sender: independent interface.
+        let c = lan.send(1, 0, MsgKind::Ack, 0, Cycles(0));
+        assert_eq!(c, Cycles(1050));
+    }
+
+    #[test]
+    fn stats_count_lan_messages() {
+        let lan = LanModel::new(3, Cycles(10));
+        lan.send(0, 1, MsgKind::RReq, 0, Cycles(0));
+        lan.send(0, 2, MsgKind::RDat, 1024, Cycles(0));
+        assert_eq!(lan.stats().total_msgs(), 2);
+        assert_eq!(lan.stats().bytes(MsgKind::RDat), 1024);
+    }
+
+    #[test]
+    fn zero_latency_lan_for_microbenchmarks() {
+        let lan = LanModel::new(2, Cycles::ZERO);
+        assert_eq!(lan.send(0, 1, MsgKind::RReq, 0, Cycles(7)), Cycles(7));
+    }
+}

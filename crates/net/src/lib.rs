@@ -1,0 +1,26 @@
+//! Network models for the MGS reproduction.
+//!
+//! A DSSMP has two communication substrates (§2.1 of the paper):
+//!
+//! * an **internal network** connecting the processors of one SSMP — on
+//!   Alewife, a 2-D mesh ([`MeshTopology`]);
+//! * an **external network** connecting the SSMPs — a commodity LAN,
+//!   which the paper models as a fixed message latency added at the
+//!   sender (§4.2.2). [`LanModel`] reproduces that methodology and adds
+//!   optional per-interface occupancy so that a flood of messages
+//!   through one SSMP's interface queues up.
+//!
+//! Message kinds ([`MsgKind`]) mirror Table 2 of the paper so that
+//! traffic statistics ([`NetStats`]) can be reported per protocol
+//! message type.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lan;
+mod mesh;
+mod msg;
+
+pub use lan::LanModel;
+pub use mesh::MeshTopology;
+pub use msg::{MsgKind, NetStats};

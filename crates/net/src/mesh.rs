@@ -1,0 +1,186 @@
+//! Internal (intra-SSMP) network: a 2-D mesh, as on Alewife.
+
+use mgs_sim::Cycles;
+
+/// A 2-D mesh topology over the nodes of one SSMP.
+///
+/// Alewife nodes are connected in a 2-D mesh with wormhole routing; the
+/// latency of a remote access grows with the Manhattan distance between
+/// requester and home node. The hardware-miss latency classes of
+/// Table 3 already average over distance, so the mesh model is used for
+/// distance statistics and for scaling studies rather than being added
+/// on top of every miss.
+///
+/// # Example
+///
+/// ```
+/// use mgs_net::MeshTopology;
+/// use mgs_sim::Cycles;
+///
+/// let mesh = MeshTopology::for_nodes(8);
+/// assert_eq!(mesh.dims(), (4, 2));
+/// assert_eq!(mesh.distance(0, 7), 4); // (0,0) -> (3,1)
+/// assert!(mesh.latency(0, 0) < mesh.latency(0, 7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshTopology {
+    width: usize,
+    height: usize,
+    hop_latency: Cycles,
+    router_latency: Cycles,
+}
+
+impl MeshTopology {
+    /// Default per-hop wire/switch latency (cycles).
+    pub const DEFAULT_HOP: Cycles = Cycles(2);
+    /// Default fixed router entry/exit latency (cycles).
+    pub const DEFAULT_ROUTER: Cycles = Cycles(7);
+
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> MeshTopology {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        MeshTopology {
+            width,
+            height,
+            hop_latency: Self::DEFAULT_HOP,
+            router_latency: Self::DEFAULT_ROUTER,
+        }
+    }
+
+    /// Creates the most-square mesh that holds `nodes` nodes (the wider
+    /// dimension first), e.g. 8 nodes → 4×2, 16 → 4×4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn for_nodes(nodes: usize) -> MeshTopology {
+        assert!(nodes > 0, "mesh must hold at least one node");
+        let mut h = (nodes as f64).sqrt() as usize;
+        while h > 1 && !nodes.is_multiple_of(h) {
+            h -= 1;
+        }
+        let h = h.max(1);
+        MeshTopology::new(nodes / h, h)
+    }
+
+    /// Overrides the per-hop latency.
+    pub fn with_hop_latency(mut self, hop: Cycles) -> MeshTopology {
+        self.hop_latency = hop;
+        self
+    }
+
+    /// `(width, height)` of the mesh.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `(x, y)` coordinates of a node id (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width, node / self.width)
+    }
+
+    /// Manhattan distance between two nodes, in hops.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// One-way message latency between two nodes.
+    pub fn latency(&self, a: usize, b: usize) -> Cycles {
+        if a == b {
+            Cycles::ZERO
+        } else {
+            self.router_latency + self.hop_latency * self.distance(a, b) as u64
+        }
+    }
+
+    /// Mean hop distance over all ordered node pairs (a locality
+    /// statistic used by scaling studies).
+    pub fn mean_distance(&self) -> f64 {
+        let n = self.nodes();
+        if n <= 1 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                total += self.distance(a, b);
+            }
+        }
+        total as f64 / (n * n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_nodes_prefers_square() {
+        assert_eq!(MeshTopology::for_nodes(16).dims(), (4, 4));
+        assert_eq!(MeshTopology::for_nodes(32).dims(), (8, 4));
+        assert_eq!(MeshTopology::for_nodes(2).dims(), (2, 1));
+        assert_eq!(MeshTopology::for_nodes(1).dims(), (1, 1));
+    }
+
+    #[test]
+    fn prime_node_counts_degenerate_to_line() {
+        assert_eq!(MeshTopology::for_nodes(7).dims(), (7, 1));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = MeshTopology::new(4, 2);
+        assert_eq!(m.coords(0), (0, 0));
+        assert_eq!(m.coords(5), (1, 1));
+        assert_eq!(m.coords(7), (3, 1));
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let m = MeshTopology::new(4, 4);
+        assert_eq!(m.distance(0, 15), 6);
+        assert_eq!(m.distance(5, 5), 0);
+        assert_eq!(m.distance(0, 1), 1);
+    }
+
+    #[test]
+    fn self_latency_is_zero() {
+        let m = MeshTopology::new(4, 4);
+        assert_eq!(m.latency(3, 3), Cycles::ZERO);
+    }
+
+    #[test]
+    fn latency_monotone_in_distance() {
+        let m = MeshTopology::new(8, 4);
+        assert!(m.latency(0, 1) < m.latency(0, 31));
+    }
+
+    #[test]
+    fn mean_distance_reasonable() {
+        let m = MeshTopology::new(2, 2);
+        // Pairs: distances 0(4×), 1(8×), 2(4×) => mean = 16/16 = 1.0
+        assert!((m.mean_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coords_out_of_range_panics() {
+        MeshTopology::new(2, 2).coords(4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Protocol message kinds (Table 2 of the paper) and traffic statistics.
+
+use mgs_sim::Counter;
+use std::fmt;
+
+/// The message types exchanged by the three MGS protocol engines,
+/// exactly as enumerated in Table 2 of the paper, plus the
+/// synchronization-library messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MsgKind {
+    // Local Client → Remote Client
+    /// Upgrade local page from read to write privilege.
+    Upgrade,
+    /// Acknowledge TLB invalidation.
+    PInvAck,
+    // Remote Client → Local Client
+    /// Invalidate a TLB entry.
+    PInv,
+    /// Acknowledge an upgrade.
+    UpAck,
+    // Local Client → Server
+    /// Read data request.
+    RReq,
+    /// Write data request.
+    WReq,
+    /// Release request.
+    Rel,
+    // Server → Local Client
+    /// Read data.
+    RDat,
+    /// Write data.
+    WDat,
+    /// Acknowledge release.
+    RAck,
+    // Remote Client → Server
+    /// Acknowledge read invalidate.
+    Ack,
+    /// Acknowledge write invalidate and return diff.
+    Diff,
+    /// Acknowledge single-writer invalidate and return data.
+    OneWData,
+    /// Notify upgrade from read to write privilege.
+    WNotify,
+    // Server → Remote Client
+    /// Invalidate page.
+    Inv,
+    /// Invalidate single-writer page.
+    OneWInv,
+    // Synchronization library
+    /// Lock token transfer between SSMPs.
+    LockToken,
+    /// Barrier combine (SSMP → root).
+    BarrierCombine,
+    /// Barrier release (root → SSMP).
+    BarrierRelease,
+}
+
+impl MsgKind {
+    /// All message kinds, for statistics iteration.
+    pub const ALL: [MsgKind; 19] = [
+        MsgKind::Upgrade,
+        MsgKind::PInvAck,
+        MsgKind::PInv,
+        MsgKind::UpAck,
+        MsgKind::RReq,
+        MsgKind::WReq,
+        MsgKind::Rel,
+        MsgKind::RDat,
+        MsgKind::WDat,
+        MsgKind::RAck,
+        MsgKind::Ack,
+        MsgKind::Diff,
+        MsgKind::OneWData,
+        MsgKind::WNotify,
+        MsgKind::Inv,
+        MsgKind::OneWInv,
+        MsgKind::LockToken,
+        MsgKind::BarrierCombine,
+        MsgKind::BarrierRelease,
+    ];
+
+    /// The wire name used in the paper's Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Upgrade => "UPGRADE",
+            MsgKind::PInvAck => "PINV_ACK",
+            MsgKind::PInv => "PINV",
+            MsgKind::UpAck => "UP_ACK",
+            MsgKind::RReq => "RREQ",
+            MsgKind::WReq => "WREQ",
+            MsgKind::Rel => "REL",
+            MsgKind::RDat => "RDAT",
+            MsgKind::WDat => "WDAT",
+            MsgKind::RAck => "RACK",
+            MsgKind::Ack => "ACK",
+            MsgKind::Diff => "DIFF",
+            MsgKind::OneWData => "1WDATA",
+            MsgKind::WNotify => "WNOTIFY",
+            MsgKind::Inv => "INV",
+            MsgKind::OneWInv => "1WINV",
+            MsgKind::LockToken => "LOCK_TOKEN",
+            MsgKind::BarrierCombine => "BAR_COMBINE",
+            MsgKind::BarrierRelease => "BAR_RELEASE",
+        }
+    }
+
+    /// `true` for messages that carry page-sized or diff payloads.
+    pub fn carries_data(self) -> bool {
+        matches!(
+            self,
+            MsgKind::RDat | MsgKind::WDat | MsgKind::Diff | MsgKind::OneWData
+        )
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-message-kind traffic counters (messages and payload bytes).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs: [Counter; 19],
+    bytes: [Counter; 19],
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Records one message of `kind` carrying `payload_bytes`.
+    pub fn record(&self, kind: MsgKind, payload_bytes: u64) {
+        self.msgs[kind.index()].incr();
+        self.bytes[kind.index()].add(payload_bytes);
+    }
+
+    /// Number of messages of `kind` recorded.
+    pub fn msgs(&self, kind: MsgKind) -> u64 {
+        self.msgs[kind.index()].get()
+    }
+
+    /// Payload bytes of `kind` recorded.
+    pub fn bytes(&self, kind: MsgKind) -> u64 {
+        self.bytes[kind.index()].get()
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().map(Counter::get).sum()
+    }
+
+    /// Total payload bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(Counter::get).sum()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        for c in self.msgs.iter().chain(self.bytes.iter()) {
+            c.reset();
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>12} {:>10} {:>12}", "message", "count", "bytes")?;
+        for kind in MsgKind::ALL {
+            let n = self.msgs(kind);
+            if n > 0 {
+                writeln!(f, "{:>12} {:>10} {:>12}", kind.name(), n, self.bytes(kind))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        let mut names: Vec<_> = MsgKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MsgKind::ALL.len());
+    }
+
+    #[test]
+    fn data_carriers_flagged() {
+        assert!(MsgKind::RDat.carries_data());
+        assert!(MsgKind::OneWData.carries_data());
+        assert!(!MsgKind::RReq.carries_data());
+        assert!(!MsgKind::PInv.carries_data());
+    }
+
+    #[test]
+    fn stats_accumulate_per_kind() {
+        let s = NetStats::new();
+        s.record(MsgKind::RReq, 0);
+        s.record(MsgKind::RDat, 1024);
+        s.record(MsgKind::RDat, 1024);
+        assert_eq!(s.msgs(MsgKind::RReq), 1);
+        assert_eq!(s.msgs(MsgKind::RDat), 2);
+        assert_eq!(s.bytes(MsgKind::RDat), 2048);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 2048);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = NetStats::new();
+        s.record(MsgKind::Inv, 8);
+        s.reset();
+        assert_eq!(s.total_msgs(), 0);
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn display_lists_only_seen_kinds() {
+        let s = NetStats::new();
+        s.record(MsgKind::WNotify, 0);
+        let out = s.to_string();
+        assert!(out.contains("WNOTIFY"));
+        assert!(!out.contains("1WDATA"));
+    }
+}

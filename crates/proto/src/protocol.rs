@@ -1,0 +1,918 @@
+//! The MGS protocol engines (Local Client, Remote Client, Server).
+//!
+//! Every transaction cites the state-transition arcs of Table 1 /
+//! Figure 4 of the paper that it implements.
+//!
+//! # Lock ordering
+//!
+//! For any page: the **server mutex is acquired before any client
+//! mutex**, and client mutexes are never held while acquiring the server
+//! mutex (the fault path releases its optimistic client lock before
+//! requesting service). This is the simulator's analogue of the paper's
+//! server-side request queuing (`REL_IN_PROG` queues replication
+//! requests): the per-page server mutex serializes whole transactions.
+
+use crate::state::{bits, ClientPage, ClientState, PageEntry, ServerDirs, ServerPage};
+use crate::{Duq, PageDiff, ProtoConfig, ProtoStats, ProtoTiming};
+use mgs_cache::SsmpCacheSystem;
+use mgs_net::MsgKind;
+use mgs_vm::{FrameAllocator, Tlb, TlbEntry};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+const PAGE_SHARDS: usize = 32;
+
+/// Lazy-invalidation write-notice board for one SSMP.
+///
+/// Lock discipline: the internal mutex is only ever held briefly (push,
+/// take, counter updates) — never across client locks or page quiesce —
+/// so releases posting notices can never participate in a lock cycle
+/// with a drain in progress.
+#[derive(Debug, Default)]
+struct NoticeBoard {
+    state: Mutex<NoticeState>,
+    drained: parking_lot::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct NoticeState {
+    queue: Vec<u64>,
+    drains_in_flight: usize,
+}
+
+/// The MGS multigrain shared memory protocol.
+///
+/// One instance manages every virtual page of a DSSMP: the per-SSMP
+/// client records, the per-page server directories, the physical home
+/// copies, per-processor TLBs and delayed update queues, and the
+/// per-SSMP cache directories (for page cleaning).
+///
+/// Transactions ([`fault`](MgsProtocol::fault),
+/// [`release_all`](MgsProtocol::release_all)) execute synchronously in
+/// the calling thread and report their timing through a
+/// [`ProtoTiming`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mgs_proto::{MgsProtocol, ProtoConfig, RecordingTiming};
+/// use mgs_sim::Cycles;
+///
+/// let cfg = ProtoConfig::new(2, 2);
+/// let proto = MgsProtocol::new(cfg.clone());
+/// let mut t = RecordingTiming::new(cfg.cost.clone(), Cycles::ZERO);
+/// // Processor 2 (SSMP 1) write-faults on page 0 (homed at SSMP 0).
+/// let entry = proto.fault(2, 0, true, &mut t);
+/// entry.frame.store(5, 42);
+/// proto.release_all(2, &mut t);
+/// // The release propagated the write to the home copy.
+/// assert_eq!(proto.home_frame(0).load(5), 42);
+/// ```
+#[derive(Debug)]
+pub struct MgsProtocol {
+    cfg: ProtoConfig,
+    frames: FrameAllocator,
+    tlbs: Vec<Arc<Tlb>>,
+    duqs: Vec<Arc<Duq>>,
+    caches: Vec<Arc<SsmpCacheSystem>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<PageEntry>>>>,
+    home_overrides: Mutex<HashMap<u64, usize>>,
+    /// Per-SSMP write-notice boards for lazy read invalidation: pages
+    /// whose local read copy is stale and must be dropped at the next
+    /// acquire point, plus a count of drains in flight (an acquiring
+    /// processor may not proceed past its acquire point until pending
+    /// invalidations have been performed, not merely claimed).
+    notices: Vec<NoticeBoard>,
+    stats: ProtoStats,
+}
+
+impl MgsProtocol {
+    /// Creates a protocol instance with freshly-created TLBs, DUQs and
+    /// cache systems.
+    pub fn new(cfg: ProtoConfig) -> MgsProtocol {
+        let n_procs = cfg.n_procs();
+        let tlbs = (0..n_procs).map(|_| Arc::new(Tlb::new())).collect();
+        let duqs = (0..n_procs).map(|_| Arc::new(Duq::new())).collect();
+        let caches = (0..cfg.n_ssmps)
+            .map(|_| Arc::new(SsmpCacheSystem::new(cfg.cost.dir_hw_pointers)))
+            .collect();
+        MgsProtocol::with_parts(cfg, tlbs, duqs, caches)
+    }
+
+    /// Creates a protocol instance sharing externally-owned TLBs, DUQs
+    /// and cache systems (the runtime wires the same structures into its
+    /// memory-access fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the configuration.
+    pub fn with_parts(
+        cfg: ProtoConfig,
+        tlbs: Vec<Arc<Tlb>>,
+        duqs: Vec<Arc<Duq>>,
+        caches: Vec<Arc<SsmpCacheSystem>>,
+    ) -> MgsProtocol {
+        assert_eq!(tlbs.len(), cfg.n_procs(), "one TLB per processor");
+        assert_eq!(duqs.len(), cfg.n_procs(), "one DUQ per processor");
+        assert_eq!(caches.len(), cfg.n_ssmps, "one cache system per SSMP");
+        let n_ssmps = cfg.n_ssmps;
+        MgsProtocol {
+            frames: FrameAllocator::new(cfg.geometry),
+            cfg,
+            tlbs,
+            duqs,
+            caches,
+            shards: (0..PAGE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            home_overrides: Mutex::new(HashMap::new()),
+            notices: (0..n_ssmps).map(|_| NoticeBoard::default()).collect(),
+            stats: ProtoStats::new(),
+        }
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtoConfig {
+        &self.cfg
+    }
+
+    /// Protocol event statistics.
+    pub fn stats(&self) -> &ProtoStats {
+        &self.stats
+    }
+
+    /// The TLB of global processor `proc`.
+    pub fn tlb(&self, proc: usize) -> &Arc<Tlb> {
+        &self.tlbs[proc]
+    }
+
+    /// The delayed update queue of global processor `proc`.
+    pub fn duq(&self, proc: usize) -> &Arc<Duq> {
+        &self.duqs[proc]
+    }
+
+    /// The cache system of SSMP `ssmp`.
+    pub fn cache_system(&self, ssmp: usize) -> &Arc<SsmpCacheSystem> {
+        &self.caches[ssmp]
+    }
+
+    /// Overrides the home node of `page` (data distribution: the
+    /// paper's applications distribute their arrays so that each
+    /// block's pages are homed at the processor that owns the block —
+    /// "the location of the home is based on the virtual address and
+    /// remains fixed", §3.1). Must be called before the page is first
+    /// touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has already been instantiated or the node is
+    /// out of range.
+    pub fn set_home(&self, page: u64, node: usize) {
+        assert!(node < self.cfg.n_procs(), "home node out of range");
+        let shard = &self.shards[(page as usize) % PAGE_SHARDS];
+        assert!(
+            !shard.lock().contains_key(&page),
+            "page {page} already instantiated"
+        );
+        self.home_overrides.lock().insert(page, node);
+    }
+
+    /// The home node (global processor) of `page`: an explicit
+    /// distribution override if one was registered, else round-robin by
+    /// page number.
+    pub fn home_node(&self, page: u64) -> usize {
+        self.home_overrides
+            .lock()
+            .get(&page)
+            .copied()
+            .unwrap_or_else(|| self.cfg.home_node(page))
+    }
+
+    /// The home SSMP of `page`.
+    pub fn home_ssmp(&self, page: u64) -> usize {
+        self.cfg.ssmp_of(self.home_node(page))
+    }
+
+    /// The physical home copy of `page` (created on first use).
+    pub fn home_frame(&self, page: u64) -> Arc<mgs_vm::PageFrame> {
+        let entry = self.page_entry(page);
+        let frame = entry.server.lock().home_frame.clone();
+        frame
+    }
+
+    /// Client-side state of `page` at SSMP `ssmp`.
+    pub fn client_state(&self, ssmp: usize, page: u64) -> ClientState {
+        self.page_entry(page).clients[ssmp].0.lock().state
+    }
+
+    /// Server directories of `page`.
+    pub fn server_dirs(&self, page: u64) -> ServerDirs {
+        self.page_entry(page).server.lock().dirs
+    }
+
+    fn page_entry(&self, page: u64) -> Arc<PageEntry> {
+        let shard = &self.shards[(page as usize) % PAGE_SHARDS];
+        let mut map = shard.lock();
+        Arc::clone(map.entry(page).or_insert_with(|| {
+            let home = self
+                .home_overrides
+                .lock()
+                .get(&page)
+                .copied()
+                .unwrap_or_else(|| self.cfg.home_node(page));
+            Arc::new(PageEntry::new(self.cfg.n_ssmps, self.frames.alloc(home)))
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling (Local Client)
+    // ------------------------------------------------------------------
+
+    /// Handles a TLB fault by global processor `proc` on `page`
+    /// (`RTLBFault` / `WTLBFault` of Table 1). Installs and returns the
+    /// new TLB entry.
+    pub fn fault(
+        &self,
+        proc: usize,
+        page: u64,
+        want_write: bool,
+        t: &mut dyn ProtoTiming,
+    ) -> TlbEntry {
+        let ssmp = self.cfg.ssmp_of(proc);
+        let entry = self.page_entry(page);
+        t.local(self.cfg.cost.fault_entry);
+        loop {
+            // Mutual exclusion on page-table state is a per-mapping
+            // shared-memory lock (§3.1.2).
+            t.local(self.cfg.cost.pt_lock);
+            let (lock, cond) = &entry.clients[ssmp];
+            let mut client = lock.lock();
+
+            if client.pending {
+                // Another local processor is already filling this page
+                // (`BUSY`); wait for it rather than issuing a duplicate
+                // request.
+                t.block_begin();
+                while client.pending {
+                    cond.wait(&mut client);
+                }
+                t.block_end();
+                let resume = client.installed_at;
+                drop(client);
+                t.wait_until(resume);
+                continue;
+            }
+
+            match (client.state, want_write) {
+                // Arc 1 (read) / arcs 3,4 (write on WRITE page): a local
+                // mapping exists; fill the TLB.
+                (ClientState::Write, _) | (ClientState::Read, false) => {
+                    return self.map_local(proc, page, want_write, &mut client, t);
+                }
+                // Arc 2: write fault on a READ page — upgrade.
+                (ClientState::Read, true) => {
+                    drop(client);
+                    if let Some(e) = self.upgrade(&entry, proc, page, t) {
+                        return e;
+                    }
+                    // Raced with an invalidation; retry from the top.
+                    continue;
+                }
+                // Arc 5: no local copy — request one from the home.
+                (ClientState::Inv, _) => {
+                    client.pending = true;
+                    drop(client);
+                    t.local(self.cfg.cost.lc_miss_setup);
+                    let mut server = entry.server.lock();
+                    return self.fill(&entry, &mut server, proc, page, want_write, t);
+                }
+            }
+        }
+    }
+
+    /// Arc 1/3: install a TLB entry from an existing local mapping.
+    /// Read faults always install read-only mappings so that each
+    /// processor's first write still faults (and enters the DUQ).
+    fn map_local(
+        &self,
+        proc: usize,
+        page: u64,
+        want_write: bool,
+        client: &mut ClientPage,
+        t: &mut dyn ProtoTiming,
+    ) -> TlbEntry {
+        let lidx = self.cfg.local_index(proc);
+        let frame = client.frame.clone().expect("mapped page has a frame");
+        t.local(self.cfg.cost.pt_walk);
+        client.tlb_dir |= 1 << lidx;
+        if want_write && self.duqs[proc].push(page) {
+            // Arc 3: DUQ = DUQ ∪ {addr}.
+            t.local(self.cfg.cost.duq_insert);
+        }
+        t.local(self.cfg.cost.tlb_insert + self.cfg.cost.fault_exit);
+        let e = TlbEntry {
+            gen: frame.generation(),
+            frame,
+            writable: want_write,
+        };
+        self.tlbs[proc].insert(page, e.clone());
+        self.stats.tlb_fills.incr();
+        e
+    }
+
+    /// Arcs 2, 13 and the server's WNOTIFY handling (arc 18): upgrade a
+    /// READ page to WRITE privilege. Returns `None` if the page was
+    /// invalidated while the locks were reacquired (the caller
+    /// retries); re-checks under the canonical server-then-client lock
+    /// order.
+    fn upgrade(
+        &self,
+        entry: &PageEntry,
+        proc: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Option<TlbEntry> {
+        let ssmp = self.cfg.ssmp_of(proc);
+        let lidx = self.cfg.local_index(proc);
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+
+        let mut server = entry.server.lock();
+        // Under lazy read invalidation a pending write notice means this
+        // SSMP's READ copy is stale; upgrading it would twin stale data
+        // (and a later single-writer flush would ship the stale page
+        // whole). Drop the copy and take the fill path instead. The
+        // check happens before the client lock: the notice queue is
+        // held across drains, so notices-then-client is the one legal
+        // order.
+        let noticed_stale = self.cfg.lazy_read_invalidation && self.notice_pending(ssmp, page);
+        let (lock, _) = &entry.clients[ssmp];
+        let mut client = lock.lock();
+        if noticed_stale && client.state == ClientState::Read {
+            let frame = client.frame.clone().expect("READ page has a frame");
+            let rc_node = frame.home_node();
+            self.shoot_down(&mut client, ssmp, page, rc_node, t);
+            {
+                let _drain = frame.quiesce();
+                frame.bump_generation();
+            }
+            client.state = ClientState::Inv;
+            client.frame = None;
+            client.twin = None;
+            // The server must stop tracking the dropped copy (the
+            // conservative drains-in-flight check can drop a fresh,
+            // still-tracked copy).
+            server.dirs.read_dir &= !(1 << ssmp);
+            self.stats.invalidations.incr();
+        }
+        match client.state {
+            ClientState::Read => {
+                let frame = client.frame.clone().expect("READ page has a frame");
+                t.local(cost.pt_walk);
+                // Arc 2: UPGRADE ⇒ l_home (the Remote Client on the
+                // processor owning the client-side copy).
+                t.message(ssmp, ssmp, MsgKind::Upgrade, 0);
+                let rc_node = frame.home_node();
+                t.node_work(rc_node, cost.rc_upgrade);
+                if ssmp != home_ssmp {
+                    // Arc 13: make twin. (The home SSMP maps the home
+                    // copy itself and never diffs.)
+                    t.node_work(rc_node, cost.twin_cost(self.cfg.geometry.words_per_page()));
+                    client.twin = Some(frame.snapshot());
+                }
+                client.state = ClientState::Write;
+                // Arc 13: UP_ACK ⇒ src, WNOTIFY ⇒ g_home.
+                t.message(ssmp, ssmp, MsgKind::UpAck, 0);
+                t.message(ssmp, home_ssmp, MsgKind::WNotify, 0);
+                // Arc 18 (server): read_dir −= {src}, write_dir ∪= {src}.
+                t.node_work(home_node, cost.server_wnotify);
+                server.dirs.read_dir &= !(1 << ssmp);
+                server.dirs.write_dir |= 1 << ssmp;
+                // UP_ACK handling at the client: DUQ ∪ {addr} (arc 7 row
+                // UP_ACK), then fill the TLB.
+                client.tlb_dir |= 1 << lidx;
+                if self.duqs[proc].push(page) {
+                    t.local(cost.duq_insert);
+                }
+                t.local(cost.tlb_insert + cost.fault_exit);
+                let e = TlbEntry {
+                    gen: frame.generation(),
+                    frame,
+                    writable: true,
+                };
+                self.tlbs[proc].insert(page, e.clone());
+                self.stats.upgrades.incr();
+                Some(e)
+            }
+            // Another local processor upgraded first: just map.
+            ClientState::Write => Some(self.map_local(proc, page, true, &mut client, t)),
+            // Invalidated in the window: fall through to a fill under
+            // the already-held server lock.
+            ClientState::Inv => {
+                if client.pending {
+                    // Only reachable if a concurrent fill is in flight;
+                    // retry through the main loop.
+                    return None;
+                }
+                client.pending = true;
+                drop(client);
+                t.local(cost.lc_miss_setup);
+                Some(self.fill(entry, &mut server, proc, page, true, t))
+            }
+        }
+    }
+
+    /// Arcs 5 → 17/18/19 → 6/7: request a page copy from the home and
+    /// install it. Called with the server mutex held and the client's
+    /// `pending` flag set.
+    fn fill(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        proc: usize,
+        page: u64,
+        want_write: bool,
+        t: &mut dyn ProtoTiming,
+    ) -> TlbEntry {
+        let ssmp = self.cfg.ssmp_of(proc);
+        let lidx = self.cfg.local_index(proc);
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+        let words = self.cfg.geometry.words_per_page();
+        let at_home = ssmp == home_ssmp;
+
+        // RREQ/WREQ ⇒ g_home.
+        let (req, dat, service) = if want_write {
+            (MsgKind::WReq, MsgKind::WDat, cost.server_write)
+        } else {
+            (MsgKind::RReq, MsgKind::RDat, cost.server_read)
+        };
+        t.message(ssmp, home_ssmp, req, 0);
+        t.node_work(home_node, service);
+
+        let (frame, arrived) = if at_home {
+            // The home SSMP maps the physical home copy directly; no
+            // data moves.
+            (server.home_frame.clone(), None)
+        } else {
+            // Gather a globally coherent image of the home copy
+            // (page cleaning, §4.2.4), then DMA it out.
+            let clean = self.caches[home_ssmp]
+                .directory()
+                .clean_page(server.home_frame.lines());
+            t.node_work(home_node, SsmpCacheSystem::clean_cost(clean, cost));
+            let data = server.home_frame.snapshot();
+            t.node_work(home_node, cost.page_dma_cost(words));
+            t.message(home_ssmp, ssmp, dat, self.cfg.geometry.page_bytes());
+            // First-touch placement: the new frame lives in the
+            // faulting processor's memory (§3.1.2).
+            let frame = self.frames.alloc(proc);
+            frame.fill(&data);
+            t.local(cost.page_install);
+            (frame, Some(data))
+        };
+
+        // Server directory update (arcs 17/18/19).
+        debug_assert_eq!(
+            server.dirs.all() & (1 << ssmp),
+            0,
+            "filling SSMP must not already hold a copy"
+        );
+        if want_write {
+            server.dirs.write_dir |= 1 << ssmp;
+        } else {
+            server.dirs.read_dir |= 1 << ssmp;
+        }
+
+        // Install at the client (arcs 6/7).
+        let (lock, cond) = &entry.clients[ssmp];
+        let mut client = lock.lock();
+        client.state = if want_write {
+            ClientState::Write
+        } else {
+            ClientState::Read
+        };
+        client.frame = Some(frame.clone());
+        if want_write && !at_home {
+            // Twins are made at request time (§3.1.1); the image that
+            // just arrived is exactly the twin.
+            t.local(cost.twin_cost(words));
+            client.twin = arrived;
+        }
+        client.tlb_dir |= 1 << lidx;
+        if want_write && self.duqs[proc].push(page) {
+            t.local(cost.duq_insert);
+        }
+        t.local(cost.lc_finish);
+        client.installed_at = t.now();
+        client.pending = false;
+        cond.notify_all();
+        drop(client);
+
+        t.local(cost.tlb_insert + cost.fault_exit);
+        let e = TlbEntry {
+            gen: frame.generation(),
+            frame,
+            writable: want_write,
+        };
+        self.tlbs[proc].insert(page, e.clone());
+        if want_write {
+            self.stats.write_misses.incr();
+        } else {
+            self.stats.read_misses.incr();
+        }
+        e
+    }
+
+    // ------------------------------------------------------------------
+    // Release (eager release consistency)
+    // ------------------------------------------------------------------
+
+    /// Performs a release operation for global processor `proc`: flushes
+    /// every page on its delayed update queue (arcs 8–10). Called by
+    /// the synchronization library at lock releases and barriers.
+    pub fn release_all(&self, proc: usize, t: &mut dyn ProtoTiming) {
+        let pages = self.duqs[proc].drain();
+        if pages.is_empty() {
+            return;
+        }
+        self.stats.releases.incr();
+        for page in pages {
+            self.release_page(proc, page, t);
+        }
+    }
+
+    /// Releases a single page: REL ⇒ g_home, invalidation fan-out, diff
+    /// merging, RACK (arcs 8, 20–23, 9).
+    pub fn release_page(&self, proc: usize, page: u64, t: &mut dyn ProtoTiming) {
+        let ssmp = self.cfg.ssmp_of(proc);
+        let entry = self.page_entry(page);
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+
+        t.local(cost.rel_entry);
+        let mut server = entry.server.lock();
+        t.message(ssmp, home_ssmp, MsgKind::Rel, 0);
+        t.node_work(home_node, cost.server_rel);
+        self.stats.pages_released.incr();
+
+        let dirs = server.dirs;
+        if self.cfg.single_writer_opt && dirs.writers() == 1 {
+            // Arc 20, |write_dir| == 1: INV ⇒ read_dir, 1WINV ⇒
+            // write_dir (the single-writer optimization).
+            let writer = dirs.write_dir.trailing_zeros() as usize;
+            for reader in bits(dirs.read_dir) {
+                if self.cfg.lazy_read_invalidation {
+                    self.post_notice(reader, page, home_ssmp, t);
+                } else {
+                    self.invalidate_client(&entry, &mut server, reader, page, false, t);
+                }
+            }
+            self.single_writer_flush(&entry, &mut server, writer, page, t);
+            server.dirs = ServerDirs {
+                read_dir: 0,
+                // Table 1 erratum (see crate docs): the writer keeps its
+                // cached copy, so the server must keep tracking it.
+                write_dir: 1 << writer,
+            };
+        } else {
+            // Arcs 20 (multi-writer) / 21 (read-only): INV ⇒ read_dir ∪
+            // write_dir. Before merging diffs the home's own cached
+            // lines must be flushed so post-merge reads at the home see
+            // merged data; when the home SSMP holds a copy its
+            // invalidation below performs that clean.
+            if dirs.all() & (1 << home_ssmp) == 0 && dirs.writers() > 0 {
+                let clean = self.caches[home_ssmp]
+                    .directory()
+                    .clean_page(server.home_frame.lines());
+                t.node_work(home_node, SsmpCacheSystem::clean_cost(clean, cost));
+            }
+            for s in bits(dirs.all()) {
+                let is_writer = dirs.write_dir & (1 << s) != 0;
+                if !is_writer && self.cfg.lazy_read_invalidation {
+                    self.post_notice(s, page, home_ssmp, t);
+                } else {
+                    self.invalidate_client(&entry, &mut server, s, page, is_writer, t);
+                }
+            }
+            server.dirs = ServerDirs::default();
+        }
+
+        // Arc 23: merge complete; acknowledge the releaser.
+        t.node_work(home_node, cost.server_merge);
+        t.message(home_ssmp, ssmp, MsgKind::RAck, 0);
+        t.local(cost.rel_finish);
+    }
+
+    /// Arc 14 (INV) at one client SSMP: PINV fan-out, page cleaning,
+    /// diff for writers, then ACK/DIFF back to the server (arcs 15/16).
+    fn invalidate_client(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        is_writer: bool,
+        t: &mut dyn ProtoTiming,
+    ) {
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+        let words = self.cfg.geometry.words_per_page();
+
+        let (lock, _) = &entry.clients[ssmp];
+        let mut client = lock.lock();
+        debug_assert!(!client.pending, "fills are serialized by the server lock");
+        if client.state == ClientState::Inv {
+            return;
+        }
+        let frame = client.frame.clone().expect("copy present");
+        self.stats.invalidations.incr();
+
+        t.message(home_ssmp, ssmp, MsgKind::Inv, 0);
+        let rc_node = frame.home_node();
+        t.node_work(rc_node, cost.rc_entry);
+
+        self.shoot_down(&mut client, ssmp, page, rc_node, t);
+
+        // Drain in-flight accesses and retire the mapping generation
+        // (the paper's translation-critical-section rollback, §4.2.1):
+        // accesses that cloned a TLB entry before the shootdown will
+        // observe the generation bump and re-fault instead of touching
+        // a retired copy.
+        {
+            let _drain = frame.quiesce();
+            frame.bump_generation();
+        }
+
+        let at_home = ssmp == home_ssmp;
+        if !at_home {
+            // Page cleaning (§4.2.4): flush the SSMP's cached lines so
+            // the copy can be diffed/discarded coherently. The home
+            // SSMP's cached lines ARE the valid data (its frame is the
+            // home copy), so no cleaning happens there — only its
+            // mappings are invalidated, re-arming fault-on-write.
+            let clean = self.caches[ssmp].directory().clean_page(frame.lines());
+            if is_writer || !self.cfg.readonly_clean_opt {
+                t.node_work(rc_node, SsmpCacheSystem::clean_cost(clean, cost));
+            }
+            // With the read-only optimization the lines of a READ copy
+            // are invalidated off the critical path: the directory
+            // update above still happens, but nobody waits for it.
+        }
+        if is_writer && !at_home {
+            // Arc 14 (WRITE) → 16 (tt == 2): make diff, DIFF ⇒ g_home.
+            let twin = client.twin.take().expect("writer SSMP has a twin");
+            t.node_work(rc_node, cost.diff_compute_cost(words));
+            let diff = PageDiff::compute_from_frame(&frame, &twin);
+            let changed = diff.len() as u64;
+            t.message(ssmp, home_ssmp, MsgKind::Diff, changed * 8);
+            t.node_work(home_node, cost.diff_transfer_apply_cost(changed));
+            diff.apply_to_frame(&server.home_frame);
+            self.mark_home_merge(server, &diff, home_node, home_ssmp);
+            self.stats.diffs.incr();
+            self.stats.diff_words.add(changed);
+        } else {
+            // Arc 14 (READ) → 16 (tt == 1): clean page, ACK ⇒ g_home.
+            // Home-SSMP writers also land here: their stores went
+            // directly to the home copy, so cleaning suffices.
+            t.message(ssmp, home_ssmp, MsgKind::Ack, 0);
+        }
+
+        client.state = ClientState::Inv;
+        client.frame = None;
+        client.twin = None;
+    }
+
+    /// Arc 14/16 with `tt == 3`: the single-writer optimization. The
+    /// writer cleans its copy and ships the whole page (1WDATA); its
+    /// read-write copy remains cached with an empty `tlb_dir`.
+    fn single_writer_flush(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) {
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+        let words = self.cfg.geometry.words_per_page();
+
+        let (lock, _) = &entry.clients[ssmp];
+        let mut client = lock.lock();
+        debug_assert_eq!(client.state, ClientState::Write, "writer holds WRITE");
+        let frame = client.frame.clone().expect("writer has a frame");
+        self.stats.single_writer_flushes.incr();
+
+        t.message(home_ssmp, ssmp, MsgKind::OneWInv, 0);
+        let rc_node = frame.home_node();
+        t.node_work(rc_node, cost.rc_entry);
+
+        self.shoot_down(&mut client, ssmp, page, rc_node, t);
+        {
+            let _drain = frame.quiesce();
+            frame.bump_generation();
+        }
+
+        if ssmp != home_ssmp {
+            // Gather a globally coherent page image before the DMA
+            // (§4.2.4). When the sole writer is the home SSMP itself
+            // its stores are already in the home copy and its caches
+            // are the valid data: only the mappings are invalidated.
+            let clean = self.caches[ssmp].directory().clean_page(frame.lines());
+            t.node_work(rc_node, SsmpCacheSystem::clean_cost(clean, cost));
+            // 1WDATA: the whole page travels instead of a diff —
+            // "diff computation overhead is traded off for higher
+            // communication bandwidth" (§3.1.1).
+            let data = frame.snapshot();
+            t.node_work(rc_node, cost.page_dma_cost(words));
+            t.message(
+                ssmp,
+                home_ssmp,
+                MsgKind::OneWData,
+                self.cfg.geometry.page_bytes(),
+            );
+            // The home cleans its own copy before overwriting it.
+            let hclean = self.caches[home_ssmp]
+                .directory()
+                .clean_page(server.home_frame.lines());
+            t.node_work(home_node, SsmpCacheSystem::clean_cost(hclean, cost));
+            server.home_frame.fill(&data);
+            t.node_work(home_node, cost.page_dma_cost(words));
+            // Refresh the twin: the kept copy is now identical to the
+            // home, so a future multi-writer diff starts from here.
+            client.twin = Some(data);
+        } else {
+            // The sole writer is the home SSMP itself: its stores are
+            // already in the home copy.
+            t.message(ssmp, home_ssmp, MsgKind::Ack, 0);
+        }
+        // The read-write copy remains cached (state stays WRITE); only
+        // the mappings are gone, so local re-use costs one TLB fill.
+    }
+
+    /// Is a lazy write notice pending (or possibly being drained right
+    /// now) for `page` at `ssmp`? Conservative: while any drain is in
+    /// flight the page is treated as potentially stale, which only
+    /// costs an occasional refetch.
+    fn notice_pending(&self, ssmp: usize, page: u64) -> bool {
+        let st = self.notices[ssmp].state.lock();
+        st.drains_in_flight > 0 || st.queue.contains(&page)
+    }
+
+    /// Lazy read invalidation: post a write notice to a reader SSMP
+    /// instead of invalidating its copy on the releaser's critical path.
+    /// The releaser pays one (unacknowledged) message; the reader drops
+    /// the copy at its next acquire point.
+    fn post_notice(&self, ssmp: usize, page: u64, home_ssmp: usize, t: &mut dyn ProtoTiming) {
+        t.message(home_ssmp, ssmp, MsgKind::Inv, 0);
+        self.notices[ssmp].state.lock().queue.push(page);
+        self.stats.lazy_notices.incr();
+    }
+
+    /// Acquire-side coherence for lazy read invalidation: drops every
+    /// noticed stale read copy of the calling processor's SSMP. Called
+    /// by the runtime after lock acquisition and after barrier release
+    /// (the acquire half of release consistency). A no-op in eager mode
+    /// or when no notices are pending.
+    pub fn acquire_sync(&self, proc: usize, t: &mut dyn ProtoTiming) {
+        if !self.cfg.lazy_read_invalidation {
+            return;
+        }
+        let ssmp = self.cfg.ssmp_of(proc);
+        // Claim the pending notices (brief lock) and mark a drain in
+        // flight. Sibling processors passing their own acquire points
+        // with nothing to drain must still wait for in-flight drains to
+        // finish: an acquire may not complete until the pending
+        // invalidations have been *performed*, not merely claimed.
+        let pending = {
+            let mut st = self.notices[ssmp].state.lock();
+            if st.queue.is_empty() {
+                while st.drains_in_flight > 0 {
+                    self.notices[ssmp].drained.wait(&mut st);
+                }
+                return;
+            }
+            st.drains_in_flight += 1;
+            std::mem::take(&mut st.queue)
+        };
+        for page in pending {
+            let entry = self.page_entry(page);
+            // Canonical lock order (server before client): the drain may
+            // drop a *fresh* copy (a stale queue entry can survive an
+            // eager invalidate + refetch), in which case the server must
+            // stop tracking it.
+            let mut server = entry.server.lock();
+            let (lock, _) = &entry.clients[ssmp];
+            let mut client = lock.lock();
+            // The copy may already be gone (re-faulted and re-invalidated,
+            // or upgraded to a write copy that a later release handled).
+            if client.state != ClientState::Read {
+                continue;
+            }
+            let frame = client.frame.clone().expect("READ copy has a frame");
+            let rc_node = frame.home_node();
+            self.shoot_down(&mut client, ssmp, page, rc_node, t);
+            {
+                let _drain = frame.quiesce();
+                frame.bump_generation();
+            }
+            let clean = self.caches[ssmp].directory().clean_page(frame.lines());
+            t.node_work(rc_node, SsmpCacheSystem::clean_cost(clean, &self.cfg.cost));
+            client.state = ClientState::Inv;
+            client.frame = None;
+            client.twin = None;
+            server.dirs.read_dir &= !(1 << ssmp);
+            self.stats.invalidations.incr();
+        }
+        let mut st = self.notices[ssmp].state.lock();
+        st.drains_in_flight -= 1;
+        if st.drains_in_flight == 0 {
+            self.notices[ssmp].drained.notify_all();
+        }
+    }
+
+    /// PINV fan-out: invalidate the TLB entry of every mapping processor
+    /// and prune the page from their DUQs (arcs 11, 12, 15).
+    fn shoot_down(
+        &self,
+        client: &mut ClientPage,
+        ssmp: usize,
+        page: u64,
+        rc_node: usize,
+        t: &mut dyn ProtoTiming,
+    ) {
+        let cost = &self.cfg.cost;
+        for lidx in bits(client.tlb_dir) {
+            let gproc = ssmp * self.cfg.procs_per_ssmp + lidx;
+            self.tlbs[gproc].shootdown(page);
+            self.duqs[gproc].remove(page);
+            t.node_work(gproc, cost.pinv);
+            t.node_work(rc_node, cost.pinv_ack);
+            self.stats.pinvs.incr();
+        }
+        client.tlb_dir = 0;
+    }
+
+    /// After a diff merge, the home node's protocol engine has written
+    /// the changed words through its cache: mark those lines dirty in
+    /// the home SSMP's directory so later page cleans pay the dirty
+    /// tier (§4.2.4).
+    fn mark_home_merge(
+        &self,
+        server: &ServerPage,
+        diff: &PageDiff,
+        home_node: usize,
+        home_ssmp: usize,
+    ) {
+        let lines: BTreeSet<u64> = diff
+            .word_indices()
+            .map(|w| server.home_frame.line_of_word(w))
+            .collect();
+        self.caches[home_ssmp]
+            .directory()
+            .mark_dirty_lines(lines, self.cfg.local_index(home_node));
+    }
+
+    /// Total simulated time helper used by micro-benchmarks: number of
+    /// words per page under this configuration.
+    pub fn words_per_page(&self) -> u64 {
+        self.cfg.geometry.words_per_page()
+    }
+
+    /// Marks every line of `page`'s home copy dirty in the home SSMP's
+    /// cache directory (micro-measurement setup: Table 3 measures the
+    /// write-miss and release paths on write-shared pages whose home
+    /// lines are dirty).
+    pub fn dirty_home_lines(&self, page: u64) {
+        let entry = self.page_entry(page);
+        let server = entry.server.lock();
+        let home_node = self.home_node(page);
+        self.caches[self.cfg.ssmp_of(home_node)]
+            .directory()
+            .mark_dirty_lines(server.home_frame.lines(), self.cfg.local_index(home_node));
+    }
+
+    /// Marks every line of `page`'s copy at `ssmp` dirty in that SSMP's
+    /// directory, attributed to the processor owning the copy
+    /// (micro-measurement setup for the release paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SSMP holds no copy of the page.
+    pub fn dirty_client_lines(&self, ssmp: usize, page: u64) {
+        let entry = self.page_entry(page);
+        let client = entry.clients[ssmp].0.lock();
+        let frame = client.frame.clone().expect("SSMP holds a copy");
+        self.caches[ssmp]
+            .directory()
+            .mark_dirty_lines(frame.lines(), self.cfg.local_index(frame.home_node()));
+    }
+}

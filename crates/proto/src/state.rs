@@ -1,0 +1,158 @@
+//! Protocol state records for clients and the server.
+
+use mgs_sim::Cycles;
+use mgs_vm::PageFrame;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Client-side page state of one SSMP (Figure 4's Local/Remote Client
+/// `pagestate`).
+///
+/// The `BUSY` state of the paper is represented by the `pending` flag on
+/// the client record: a fill is in flight and local faulting processors
+/// must wait rather than issue duplicate requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientState {
+    /// No local copy (`INV`).
+    Inv,
+    /// Read-only local copy (`READ`).
+    Read,
+    /// Read-write local copy (`WRITE`).
+    Write,
+}
+
+/// Server-side directories for one page: which SSMPs hold read and
+/// write copies. Bit *i* set means SSMP *i*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerDirs {
+    /// SSMPs holding read-only copies.
+    pub read_dir: u64,
+    /// SSMPs holding read-write copies.
+    pub write_dir: u64,
+}
+
+impl ServerDirs {
+    /// All SSMPs holding any copy.
+    pub fn all(&self) -> u64 {
+        self.read_dir | self.write_dir
+    }
+
+    /// Number of writer SSMPs.
+    pub fn writers(&self) -> u32 {
+        self.write_dir.count_ones()
+    }
+
+    /// Number of reader SSMPs.
+    pub fn readers(&self) -> u32 {
+        self.read_dir.count_ones()
+    }
+}
+
+/// Iterates the set bit positions of a mask.
+pub(crate) fn bits(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let b = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(b)
+        }
+    })
+}
+
+/// One SSMP's record for one page.
+#[derive(Debug)]
+pub(crate) struct ClientPage {
+    pub state: ClientState,
+    /// The SSMP's physical copy (the home frame itself at the home
+    /// SSMP).
+    pub frame: Option<Arc<PageFrame>>,
+    /// Twin snapshot for diffing (never present at the home SSMP).
+    pub twin: Option<Vec<u64>>,
+    /// Bitmask of local processors with TLB mappings (`tlb_dir`).
+    pub tlb_dir: u64,
+    /// A fill transaction is in flight from this SSMP (`BUSY`).
+    pub pending: bool,
+    /// Simulated time the last fill completed (waiters resume here).
+    pub installed_at: Cycles,
+}
+
+impl ClientPage {
+    pub(crate) fn new() -> ClientPage {
+        ClientPage {
+            state: ClientState::Inv,
+            frame: None,
+            twin: None,
+            tlb_dir: 0,
+            pending: false,
+            installed_at: Cycles::ZERO,
+        }
+    }
+}
+
+/// Server-side record for one page.
+#[derive(Debug)]
+pub(crate) struct ServerPage {
+    pub dirs: ServerDirs,
+    /// The physical home copy; its location is fixed for all time
+    /// (§3.1).
+    pub home_frame: Arc<PageFrame>,
+}
+
+/// All protocol state for one virtual page.
+#[derive(Debug)]
+pub(crate) struct PageEntry {
+    pub server: Mutex<ServerPage>,
+    /// Per-SSMP client records, each with a condvar for `BUSY` waiters.
+    ///
+    /// Lock ordering: `server` before any client; client locks are never
+    /// held while acquiring `server`.
+    pub clients: Vec<(Mutex<ClientPage>, Condvar)>,
+}
+
+impl PageEntry {
+    pub(crate) fn new(n_ssmps: usize, home_frame: Arc<PageFrame>) -> PageEntry {
+        PageEntry {
+            server: Mutex::new(ServerPage {
+                dirs: ServerDirs::default(),
+                home_frame,
+            }),
+            clients: (0..n_ssmps)
+                .map(|_| (Mutex::new(ClientPage::new()), Condvar::new()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_iterates_set_positions() {
+        assert_eq!(bits(0).count(), 0);
+        assert_eq!(bits(0b1011).collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(bits(1 << 63).collect::<Vec<_>>(), vec![63]);
+    }
+
+    #[test]
+    fn dirs_counts() {
+        let d = ServerDirs {
+            read_dir: 0b0110,
+            write_dir: 0b1000,
+        };
+        assert_eq!(d.all(), 0b1110);
+        assert_eq!(d.readers(), 2);
+        assert_eq!(d.writers(), 1);
+    }
+
+    #[test]
+    fn fresh_client_page_is_inv() {
+        let c = ClientPage::new();
+        assert_eq!(c.state, ClientState::Inv);
+        assert!(c.frame.is_none() && c.twin.is_none());
+        assert_eq!(c.tlb_dir, 0);
+        assert!(!c.pending);
+    }
+}

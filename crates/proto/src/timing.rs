@@ -1,0 +1,217 @@
+//! Timing abstraction between the protocol and its runtime.
+
+use mgs_net::MsgKind;
+use mgs_sim::{CostModel, Cycles};
+
+/// How the protocol reports simulated time as its transactions execute.
+///
+/// The protocol calls these hooks in exactly the order the corresponding
+/// work happens on the real machine; the runtime implementation
+/// (`mgs-core`) advances the faulting processor's clock, serializes work
+/// on remote protocol engines through occupancy resources, and routes
+/// inter-SSMP messages through the LAN model. The test implementation
+/// ([`RecordingTiming`]) accumulates a deterministic single-stream clock
+/// so that protocol unit tests can assert exact Table 3 costs.
+pub trait ProtoTiming {
+    /// The requesting processor's current simulated time.
+    fn now(&self) -> Cycles;
+
+    /// Work executed on the requesting processor itself.
+    fn local(&mut self, cycles: Cycles);
+
+    /// A protocol message from SSMP `from` to SSMP `to` carrying
+    /// `payload_bytes` of data. `from == to` is an intra-SSMP message.
+    fn message(&mut self, from: usize, to: usize, kind: MsgKind, payload_bytes: u64);
+
+    /// Handler or data-movement work executed at global processor
+    /// `node`, serialized with other protocol work at that node.
+    fn node_work(&mut self, node: usize, cycles: Cycles);
+
+    /// The transaction had to wait (e.g. for a fill by another local
+    /// processor) until `instant`.
+    fn wait_until(&mut self, instant: Cycles);
+
+    /// The calling thread is about to block on real synchronization
+    /// (lets a time governor exclude it from window advancement).
+    fn block_begin(&mut self) {}
+
+    /// The calling thread resumed after a real block.
+    fn block_end(&mut self) {}
+}
+
+/// One recorded timing event (see [`RecordingTiming`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingEvent {
+    /// Local work on the requester.
+    Local(Cycles),
+    /// A message crossing.
+    Message {
+        /// Sending SSMP.
+        from: usize,
+        /// Receiving SSMP.
+        to: usize,
+        /// Protocol message kind.
+        kind: MsgKind,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Work at a node's protocol engine.
+    NodeWork {
+        /// Global processor id.
+        node: usize,
+        /// Service time.
+        cycles: Cycles,
+    },
+    /// A wait until an instant.
+    WaitUntil(Cycles),
+}
+
+/// A deterministic [`ProtoTiming`] for tests and micro-measurements.
+///
+/// Accumulates every cost into a single serial clock (no occupancy, no
+/// concurrency): `local` and `node_work` add their cycles; `message`
+/// adds an intra-SSMP handler cost when `from == to`, otherwise a full
+/// crossing (`msg_send + ext_latency + msg_recv`). With this
+/// implementation a protocol transaction's elapsed time equals the
+/// composite reference costs of
+/// [`CostModel`](mgs_sim::CostModel) exactly.
+///
+/// # Example
+///
+/// ```
+/// use mgs_proto::{ProtoTiming, RecordingTiming};
+/// use mgs_sim::{CostModel, Cycles};
+///
+/// let mut t = RecordingTiming::new(CostModel::alewife(), Cycles(1000));
+/// t.local(Cycles(50));
+/// assert_eq!(t.now(), Cycles(50));
+/// ```
+#[derive(Debug)]
+pub struct RecordingTiming {
+    cost: CostModel,
+    ext_latency: Cycles,
+    clock: Cycles,
+    events: Vec<TimingEvent>,
+}
+
+impl RecordingTiming {
+    /// Creates a recorder with the given cost model and external
+    /// latency.
+    pub fn new(cost: CostModel, ext_latency: Cycles) -> RecordingTiming {
+        RecordingTiming {
+            cost,
+            ext_latency,
+            clock: Cycles::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// Everything recorded so far, in order.
+    pub fn events(&self) -> &[TimingEvent] {
+        &self.events
+    }
+
+    /// Total elapsed serial time.
+    pub fn elapsed(&self) -> Cycles {
+        self.clock
+    }
+
+    /// Clears the clock and the event log.
+    pub fn reset(&mut self) {
+        self.clock = Cycles::ZERO;
+        self.events.clear();
+    }
+
+    /// Number of inter-SSMP crossings recorded.
+    pub fn crossings(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TimingEvent::Message { from, to, .. } if from != to))
+            .count()
+    }
+}
+
+impl ProtoTiming for RecordingTiming {
+    fn now(&self) -> Cycles {
+        self.clock
+    }
+
+    fn local(&mut self, cycles: Cycles) {
+        self.clock += cycles;
+        self.events.push(TimingEvent::Local(cycles));
+    }
+
+    fn message(&mut self, from: usize, to: usize, kind: MsgKind, payload_bytes: u64) {
+        self.clock += if from == to {
+            self.cost.intra_msg
+        } else {
+            self.cost.crossing(self.ext_latency)
+        };
+        self.events.push(TimingEvent::Message {
+            from,
+            to,
+            kind,
+            bytes: payload_bytes,
+        });
+    }
+
+    fn node_work(&mut self, node: usize, cycles: Cycles) {
+        self.clock += cycles;
+        self.events.push(TimingEvent::NodeWork { node, cycles });
+    }
+
+    fn wait_until(&mut self, instant: Cycles) {
+        self.clock = self.clock.max(instant);
+        self.events.push(TimingEvent::WaitUntil(instant));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_work_accumulates() {
+        let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+        t.local(Cycles(10));
+        t.local(Cycles(5));
+        assert_eq!(t.elapsed(), Cycles(15));
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn intra_message_is_cheap() {
+        let cm = CostModel::alewife();
+        let mut t = RecordingTiming::new(cm.clone(), Cycles(1000));
+        t.message(1, 1, MsgKind::Upgrade, 0);
+        assert_eq!(t.elapsed(), cm.intra_msg);
+    }
+
+    #[test]
+    fn crossing_includes_ext_latency() {
+        let cm = CostModel::alewife();
+        let mut t = RecordingTiming::new(cm.clone(), Cycles(1000));
+        t.message(0, 1, MsgKind::RReq, 0);
+        assert_eq!(t.elapsed(), cm.crossing(Cycles(1000)));
+        assert_eq!(t.crossings(), 1);
+    }
+
+    #[test]
+    fn wait_until_only_moves_forward() {
+        let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+        t.local(Cycles(100));
+        t.wait_until(Cycles(50));
+        assert_eq!(t.now(), Cycles(100));
+        t.wait_until(Cycles(200));
+        assert_eq!(t.now(), Cycles(200));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+        t.local(Cycles(1));
+        t.reset();
+        assert_eq!(t.elapsed(), Cycles::ZERO);
+        assert!(t.events().is_empty());
+    }
+}

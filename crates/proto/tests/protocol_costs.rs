@@ -1,0 +1,140 @@
+//! Exact-cost tests: the executed protocol reproduces the composite
+//! reference costs of the cost model (and hence Table 3 of the paper)
+//! when driven through the same scenarios as the paper's
+//! micro-benchmarks.
+
+use mgs_proto::{MgsProtocol, ProtoConfig, RecordingTiming};
+use mgs_sim::{CostModel, Cycles};
+
+const WORDS: u64 = 128;
+const LINES: u64 = 64;
+
+fn setup() -> (MgsProtocol, RecordingTiming, CostModel) {
+    let cfg = ProtoConfig::new(2, 2);
+    let cost = cfg.cost.clone();
+    (
+        MgsProtocol::new(cfg),
+        RecordingTiming::new(cost.clone(), Cycles::ZERO),
+        cost,
+    )
+}
+
+#[test]
+fn tlb_fill_costs_1037() {
+    let (p, mut t, cost) = setup();
+    p.fault(2, 0, false, &mut t);
+    t.reset();
+    p.fault(3, 0, false, &mut t); // same SSMP: pure TLB fill
+    assert_eq!(t.elapsed(), cost.tlb_fill_cost());
+    assert_eq!(t.elapsed(), Cycles(1037));
+}
+
+#[test]
+fn inter_ssmp_read_miss_costs_6982() {
+    let (p, mut t, cost) = setup();
+    // Fresh page: the home copy is uncached, so page cleaning runs at
+    // the clean tier, exactly as in the paper's micro-benchmark.
+    p.fault(2, 0, false, &mut t);
+    assert_eq!(t.elapsed(), cost.read_miss_cost(Cycles::ZERO, WORDS, LINES));
+    assert_eq!(t.elapsed(), Cycles(6982));
+}
+
+#[test]
+fn inter_ssmp_write_miss_costs_16331() {
+    let (p, mut t, cost) = setup();
+    // The write-miss micro-benchmark runs on a write-shared page whose
+    // home lines are dirty in the home SSMP's caches.
+    p.dirty_home_lines(0);
+    p.fault(2, 0, true, &mut t);
+    assert_eq!(
+        t.elapsed(),
+        cost.write_miss_cost(Cycles::ZERO, WORDS, LINES)
+    );
+    assert_eq!(t.elapsed(), Cycles(16331));
+}
+
+#[test]
+fn release_one_writer_costs_14226() {
+    let (p, mut t, cost) = setup();
+    let e = p.fault(2, 0, true, &mut t);
+    e.frame.store(0, 1);
+    // The writer's cached lines are dirty (it wrote the whole page in
+    // the micro-benchmark).
+    p.dirty_client_lines(1, 0);
+    t.reset();
+    p.release_all(2, &mut t);
+    assert_eq!(
+        t.elapsed(),
+        cost.release_one_writer_cost(Cycles::ZERO, WORDS, LINES)
+    );
+    assert_eq!(t.elapsed(), Cycles(14226));
+}
+
+#[test]
+fn release_two_writers_costs_32570() {
+    let cfg = ProtoConfig::new(3, 2);
+    let cost = cfg.cost.clone();
+    let p = MgsProtocol::new(cfg);
+    let mut t = RecordingTiming::new(cost.clone(), Cycles::ZERO);
+    // Two writer SSMPs (1 and 2), page homed at SSMP 0, full-page
+    // writes so the diffs carry the whole page.
+    let e1 = p.fault(2, 0, true, &mut t);
+    let e2 = p.fault(4, 0, true, &mut t);
+    for w in 0..WORDS {
+        e1.frame.store(w, w + 1);
+        e2.frame.store(w, w + 2);
+    }
+    p.dirty_client_lines(1, 0);
+    p.dirty_client_lines(2, 0);
+    t.reset();
+    p.release_all(2, &mut t);
+    assert_eq!(
+        t.elapsed(),
+        cost.release_multi_writer_cost(Cycles::ZERO, WORDS, LINES, 2, WORDS)
+    );
+    assert_eq!(t.elapsed(), Cycles(32570));
+}
+
+#[test]
+fn external_latency_is_charged_per_crossing() {
+    let cfg = ProtoConfig::new(2, 2);
+    let cost = cfg.cost.clone();
+    let p = MgsProtocol::new(cfg);
+    let mut t = RecordingTiming::new(cost.clone(), Cycles(1000));
+    p.fault(2, 0, false, &mut t);
+    // A read miss crosses the LAN twice (RREQ, RDAT).
+    assert_eq!(t.elapsed(), cost.read_miss_cost(Cycles(1000), WORDS, LINES));
+    assert_eq!(t.crossings(), 2);
+}
+
+#[test]
+fn smaller_pages_cost_less() {
+    let mut cfg = ProtoConfig::new(2, 2);
+    cfg.geometry = mgs_vm::PageGeometry::new(512);
+    let cost = cfg.cost.clone();
+    let p = MgsProtocol::new(cfg);
+    let mut t = RecordingTiming::new(cost.clone(), Cycles::ZERO);
+    p.fault(2, 0, false, &mut t);
+    assert_eq!(t.elapsed(), cost.read_miss_cost(Cycles::ZERO, 64, 32));
+    assert!(t.elapsed() < cost.read_miss_cost(Cycles::ZERO, WORDS, LINES));
+}
+
+#[test]
+fn sparse_diffs_are_cheaper_than_full_page_diffs() {
+    // Release cost scales with the number of changed words.
+    let run = |writes: u64| {
+        let mut cfg = ProtoConfig::new(3, 2);
+        cfg.single_writer_opt = false;
+        let cost = cfg.cost.clone();
+        let p = MgsProtocol::new(cfg);
+        let mut t = RecordingTiming::new(cost, Cycles::ZERO);
+        let e = p.fault(2, 0, true, &mut t);
+        for w in 0..writes {
+            e.frame.store(w, w + 1);
+        }
+        t.reset();
+        p.release_all(2, &mut t);
+        t.elapsed()
+    };
+    assert!(run(4) < run(WORDS));
+}

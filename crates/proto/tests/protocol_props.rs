@@ -1,0 +1,198 @@
+//! Property-based tests: random interleavings of protocol operations
+//! preserve the coherence invariants.
+
+use mgs_proto::{ClientState, MgsProtocol, ProtoConfig, ProtoTiming, RecordingTiming};
+use mgs_sim::{CostModel, Cycles};
+use proptest::prelude::*;
+
+const N_SSMPS: usize = 4;
+const C: usize = 2;
+const N_PROCS: usize = N_SSMPS * C;
+const N_PAGES: u64 = 4;
+
+/// One step of a random protocol workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Read {
+        proc: usize,
+        page: u64,
+        word: u64,
+    },
+    Write {
+        proc: usize,
+        page: u64,
+        word: u64,
+        val: u64,
+    },
+    Release {
+        proc: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N_PROCS, 0..N_PAGES, 0..128u64).prop_map(|(proc, page, word)| Op::Read {
+            proc,
+            page,
+            word
+        }),
+        (0..N_PROCS, 0..N_PAGES, 0..128u64, 1..1000u64).prop_map(|(proc, page, word, val)| {
+            Op::Write {
+                proc,
+                page,
+                word,
+                val,
+            }
+        }),
+        (0..N_PROCS).prop_map(|proc| Op::Release { proc }),
+    ]
+}
+
+fn timing() -> RecordingTiming {
+    RecordingTiming::new(CostModel::alewife(), Cycles::ZERO)
+}
+
+/// Runs ops sequentially; after each step, checks structural invariants.
+fn run_checked(ops: &[Op], single_writer_opt: bool) -> MgsProtocol {
+    let mut cfg = ProtoConfig::new(N_SSMPS, C);
+    cfg.single_writer_opt = single_writer_opt;
+    let p = MgsProtocol::new(cfg);
+    let mut t = timing();
+    for op in ops {
+        match *op {
+            Op::Read { proc, page, word } => {
+                let e = match p.tlb(proc).lookup(page, false) {
+                    Some(e) => e,
+                    None => p.fault(proc, page, false, &mut t),
+                };
+                let _ = e.frame.load(word);
+            }
+            Op::Write {
+                proc,
+                page,
+                word,
+                val,
+            } => {
+                let e = match p.tlb(proc).lookup(page, true) {
+                    Some(e) => e,
+                    None => p.fault(proc, page, true, &mut t),
+                };
+                e.frame.store(word, val);
+            }
+            Op::Release { proc } => p.release_all(proc, &mut t),
+        }
+        check_invariants(&p);
+    }
+    p
+}
+
+fn check_invariants(p: &MgsProtocol) {
+    for page in 0..N_PAGES {
+        let dirs = p.server_dirs(page);
+        // An SSMP is never both a reader and a writer.
+        assert_eq!(dirs.read_dir & dirs.write_dir, 0, "dirs disjoint");
+        for ssmp in 0..N_SSMPS {
+            let state = p.client_state(ssmp, page);
+            let in_read = dirs.read_dir & (1 << ssmp) != 0;
+            let in_write = dirs.write_dir & (1 << ssmp) != 0;
+            match state {
+                // A client with a copy is tracked by the server.
+                ClientState::Read => assert!(in_read, "READ client in read_dir"),
+                ClientState::Write => assert!(in_write, "WRITE client in write_dir"),
+                ClientState::Inv => {
+                    assert!(!in_read && !in_write, "INV client absent from dirs")
+                }
+            }
+        }
+        // A processor's TLB entry implies a live local copy.
+        for proc in 0..N_PROCS {
+            if p.tlb(proc).lookup(page, false).is_some() {
+                let state = p.client_state(proc / C, page);
+                assert_ne!(state, ClientState::Inv, "mapping implies a copy");
+            }
+            // A DUQ entry implies write privilege at the SSMP.
+            if p.duq(proc).contains(page) {
+                assert_eq!(
+                    p.client_state(proc / C, page),
+                    ClientState::Write,
+                    "DUQ entry implies WRITE page"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_random_workloads(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_checked(&ops, true);
+    }
+
+    #[test]
+    fn invariants_hold_without_single_writer_opt(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_checked(&ops, false);
+    }
+
+    /// Data-race-free writes propagate: if each word of each page is
+    /// written by at most one processor and every writer releases, the
+    /// home copies end up with exactly the written values.
+    #[test]
+    fn released_writes_reach_home(
+        writes in prop::collection::vec(
+            (0..N_PROCS, 0..N_PAGES, 0..128u64, 1..1_000_000u64), 1..40)
+    ) {
+        let p = MgsProtocol::new(ProtoConfig::new(N_SSMPS, C));
+        let mut t = timing();
+        // Deduplicate (page, word) so each word has one writer: DRF.
+        let mut seen = std::collections::HashSet::new();
+        let mut expected = Vec::new();
+        for (proc, page, word, val) in writes {
+            if seen.insert((page, word)) {
+                expected.push((proc, page, word, val));
+            }
+        }
+        for &(proc, page, word, val) in &expected {
+            let e = match p.tlb(proc).lookup(page, true) {
+                Some(e) => e,
+                None => p.fault(proc, page, true, &mut t),
+            };
+            e.frame.store(word, val);
+        }
+        for proc in 0..N_PROCS {
+            p.release_all(proc, &mut t);
+        }
+        for &(_, page, word, val) in &expected {
+            prop_assert_eq!(p.home_frame(page).load(word), val);
+        }
+    }
+
+    /// Timing is non-negative and monotone: every operation advances the
+    /// recording clock.
+    #[test]
+    fn recorded_time_is_monotone(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let p = MgsProtocol::new(ProtoConfig::new(N_SSMPS, C));
+        let mut t = timing();
+        let mut last = Cycles::ZERO;
+        for op in &ops {
+            match *op {
+                Op::Read { proc, page, .. } => {
+                    if p.tlb(proc).lookup(page, false).is_none() {
+                        p.fault(proc, page, false, &mut t);
+                    }
+                }
+                Op::Write { proc, page, word, val } => {
+                    let e = match p.tlb(proc).lookup(page, true) {
+                        Some(e) => e,
+                        None => p.fault(proc, page, true, &mut t),
+                    };
+                    e.frame.store(word, val);
+                }
+                Op::Release { proc } => p.release_all(proc, &mut t),
+            }
+            prop_assert!(t.now() >= last);
+            last = t.now();
+        }
+    }
+}

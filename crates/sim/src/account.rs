@@ -1,0 +1,210 @@
+//! Cycle accounting by runtime-breakdown category.
+
+use crate::Cycles;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The four components of the paper's runtime breakdowns (Figures 6–10
+/// and 12).
+///
+/// * [`User`](CostCategory::User) — useful work, software address
+///   translation, and hardware shared-memory stall time.
+/// * [`Lock`](CostCategory::Lock) — executing and waiting on lock
+///   primitives.
+/// * [`Barrier`](CostCategory::Barrier) — executing and waiting on
+///   barriers.
+/// * [`Mgs`](CostCategory::Mgs) — all time spent running the MGS
+///   software coherence protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostCategory {
+    /// User code, address translation, and hardware shared memory stalls.
+    User,
+    /// Lock overhead and waiting.
+    Lock,
+    /// Barrier overhead and waiting.
+    Barrier,
+    /// MGS software coherence protocol processing.
+    Mgs,
+}
+
+impl CostCategory {
+    /// All categories, in the order the paper's figures stack them.
+    pub const ALL: [CostCategory; 4] = [
+        CostCategory::User,
+        CostCategory::Lock,
+        CostCategory::Barrier,
+        CostCategory::Mgs,
+    ];
+
+    /// Short label used in harness output ("User", "Lock", "Barrier",
+    /// "MGS"), matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostCategory::User => "User",
+            CostCategory::Lock => "Lock",
+            CostCategory::Barrier => "Barrier",
+            CostCategory::Mgs => "MGS",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CostCategory::User => 0,
+            CostCategory::Lock => 1,
+            CostCategory::Barrier => 2,
+            CostCategory::Mgs => 3,
+        }
+    }
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-category accumulated cycles for one processor or one run.
+///
+/// # Example
+///
+/// ```
+/// use mgs_sim::{CostCategory, Cycles, CycleAccount};
+///
+/// let mut acct = CycleAccount::new();
+/// acct.record(CostCategory::User, Cycles(70));
+/// acct.record(CostCategory::Mgs, Cycles(30));
+/// assert_eq!(acct.total(), Cycles(100));
+/// assert!((acct.fraction(CostCategory::Mgs) - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleAccount {
+    buckets: [Cycles; 4],
+}
+
+impl CycleAccount {
+    /// Creates an empty account.
+    pub fn new() -> CycleAccount {
+        CycleAccount::default()
+    }
+
+    /// Adds `amount` to `category`.
+    pub fn record(&mut self, category: CostCategory, amount: Cycles) {
+        self.buckets[category.index()] += amount;
+    }
+
+    /// Returns the cycles accumulated in `category`.
+    pub fn get(&self, category: CostCategory) -> Cycles {
+        self.buckets[category.index()]
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> Cycles {
+        self.buckets.iter().copied().sum()
+    }
+
+    /// Fraction of the total spent in `category` (0.0 if the account is
+    /// empty).
+    pub fn fraction(&self, category: CostCategory) -> f64 {
+        let total = self.total().raw();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(category).raw() as f64 / total as f64
+        }
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &CycleAccount) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Iterates over `(category, cycles)` pairs in figure order.
+    pub fn iter(&self) -> impl Iterator<Item = (CostCategory, Cycles)> + '_ {
+        CostCategory::ALL.iter().map(|&c| (c, self.get(c)))
+    }
+}
+
+impl Add for CycleAccount {
+    type Output = CycleAccount;
+    fn add(mut self, rhs: CycleAccount) -> CycleAccount {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl AddAssign for CycleAccount {
+    fn add_assign(&mut self, rhs: CycleAccount) {
+        self.merge(&rhs);
+    }
+}
+
+impl fmt::Display for CycleAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "User={} Lock={} Barrier={} MGS={}",
+            self.buckets[0].0, self.buckets[1].0, self.buckets[2].0, self.buckets[3].0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_have_stable_labels() {
+        assert_eq!(CostCategory::User.label(), "User");
+        assert_eq!(CostCategory::Mgs.label(), "MGS");
+        assert_eq!(CostCategory::ALL.len(), 4);
+    }
+
+    #[test]
+    fn add_and_total() {
+        let mut acct = CycleAccount::new();
+        acct.record(CostCategory::Lock, Cycles(5));
+        acct.record(CostCategory::Lock, Cycles(7));
+        acct.record(CostCategory::Barrier, Cycles(3));
+        assert_eq!(acct.get(CostCategory::Lock), Cycles(12));
+        assert_eq!(acct.total(), Cycles(15));
+    }
+
+    #[test]
+    fn fraction_of_empty_account_is_zero() {
+        let acct = CycleAccount::new();
+        assert_eq!(acct.fraction(CostCategory::User), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_bucket() {
+        let mut a = CycleAccount::new();
+        a.record(CostCategory::User, Cycles(1));
+        let mut b = CycleAccount::new();
+        b.record(CostCategory::User, Cycles(2));
+        b.record(CostCategory::Mgs, Cycles(4));
+        a.merge(&b);
+        assert_eq!(a.get(CostCategory::User), Cycles(3));
+        assert_eq!(a.get(CostCategory::Mgs), Cycles(4));
+    }
+
+    #[test]
+    fn iter_covers_all_categories_in_order() {
+        let mut acct = CycleAccount::new();
+        acct.record(CostCategory::Barrier, Cycles(9));
+        let collected: Vec<_> = acct.iter().collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[2], (CostCategory::Barrier, Cycles(9)));
+    }
+
+    #[test]
+    fn add_operator_sums() {
+        let mut a = CycleAccount::new();
+        a.record(CostCategory::User, Cycles(1));
+        let mut b = CycleAccount::new();
+        b.record(CostCategory::User, Cycles(41));
+        let c = a + b;
+        assert_eq!(c.get(CostCategory::User), Cycles(42));
+    }
+}

@@ -1,0 +1,517 @@
+//! The simulator's cost model.
+//!
+//! Every latency constant used anywhere in the DSSMP simulator lives
+//! here, so that the timing behaviour of the whole system can be audited
+//! (and re-calibrated) in one place.
+//!
+//! The default model, [`CostModel::alewife`], is calibrated so that the
+//! primitive shared-memory operation costs of **Table 3** of the paper
+//! emerge from sums of the component constants. The composite-cost
+//! reference functions ([`CostModel::read_miss_cost`] and friends)
+//! document the exact decomposition used; the protocol runtime in
+//! `mgs-core` charges the same components piecewise as it executes each
+//! transaction, so the micro-measurements of `mgs-core` reproduce
+//! Table 3 by construction *plus* dynamic effects (cache state,
+//! contention) on top.
+//!
+//! Calibration targets (Table 3, 20 MHz Alewife, 1 KB pages, 0-cycle
+//! inter-SSMP latency):
+//!
+//! | Operation | Cycles |
+//! |---|---|
+//! | Cache Miss Local | 11 |
+//! | Cache Miss Remote | 38 |
+//! | Cache Miss 2-party | 42 |
+//! | Cache Miss 3-party | 63 |
+//! | Remote Software (directory overflow) | 425 |
+//! | Distributed Array Translation | 18 |
+//! | Pointer Translation | 24 |
+//! | TLB Fill | 1037 |
+//! | Inter-SSMP Read Miss | 6982 |
+//! | Inter-SSMP Write Miss | 16331 |
+//! | Release (1 writer) | 14226 |
+//! | Release (2 writers) | 32570 |
+
+use crate::Cycles;
+
+/// Which tier of page-cleaning cost applies (see §4.2.4 of the paper).
+///
+/// Cleaning a page issues a prefetch/store/flush sequence for every
+/// cache line of the page. When the lines are not dirty in any cache of
+/// the SSMP the write-prefetch pipeline hides the invalidation latency
+/// and the per-line cost is low; when lines are dirty (or widely shared)
+/// each flush stalls on the coherence protocol and the per-line cost is
+/// several times higher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CleanTier {
+    /// No dirty lines: the prefetch pipeline hides invalidation latency.
+    Clean,
+    /// Dirty lines present: flushes stall on coherence transactions.
+    Dirty,
+}
+
+/// All latency constants of the simulator, in cycles.
+///
+/// Construct with [`CostModel::alewife`] (the calibrated default, also
+/// returned by `Default`) and override individual fields for ablation
+/// studies.
+///
+/// # Example
+///
+/// ```
+/// use mgs_sim::{CostModel, Cycles};
+///
+/// let cm = CostModel::alewife();
+/// assert_eq!(cm.tlb_fill_cost(), Cycles(1037)); // Table 3
+/// let rm = cm.read_miss_cost(Cycles::ZERO, 128, 64);
+/// assert_eq!(rm, Cycles(6982)); // Table 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    // --- Hardware shared memory (intra-SSMP), Table 3 group 1 ---
+    /// Load/store hit in the processor's own cache.
+    pub cache_hit: Cycles,
+    /// Miss satisfied by the local node's memory.
+    pub miss_local: Cycles,
+    /// Miss satisfied by another node's memory (clean line).
+    pub miss_remote: Cycles,
+    /// Miss requiring one remote cache to be consulted (dirty in the
+    /// home node's cache).
+    pub miss_two_party: Cycles,
+    /// Miss requiring a third node's cache to be consulted.
+    pub miss_three_party: Cycles,
+    /// Miss to a line whose directory entry has overflowed into software
+    /// (Alewife's LimitLESS directory): handled by a software handler.
+    pub miss_sw_directory: Cycles,
+    /// Number of hardware directory pointers before LimitLESS overflow.
+    pub dir_hw_pointers: usize,
+
+    // --- Software address translation, Table 3 group 2 ---
+    /// Inline translation for a distributed-array access.
+    pub xlate_array: Cycles,
+    /// Inline translation for a pointer dereference (must additionally
+    /// discriminate virtual from physical addresses).
+    pub xlate_pointer: Cycles,
+
+    // --- Active message layer ---
+    /// Marshal + launch an inter-SSMP active message.
+    pub msg_send: Cycles,
+    /// Handler dispatch at the receiving processor.
+    pub msg_recv: Cycles,
+    /// An intra-SSMP message (handler invocation through the internal
+    /// network; used by the Local Client → Remote Client path).
+    pub intra_msg: Cycles,
+
+    // --- Local Client ---
+    /// Trap + dispatch into the Local Client on a TLB fault.
+    pub fault_entry: Cycles,
+    /// Return from the fault handler.
+    pub fault_exit: Cycles,
+    /// Acquire the per-mapping page-table lock (spin path).
+    pub pt_lock: Cycles,
+    /// Page-table walk to locate a local mapping.
+    pub pt_walk: Cycles,
+    /// Install a mapping into the software TLB.
+    pub tlb_insert: Cycles,
+    /// Enter the BUSY state and marshal a request for a missing page.
+    pub lc_miss_setup: Cycles,
+    /// Complete a page-fill transaction (unlock, wake local waiters).
+    pub lc_finish: Cycles,
+    /// Allocate and map a physical page at the client.
+    pub page_install: Cycles,
+    /// Copy one 8-byte word when creating a twin (software copy loop on
+    /// data that just arrived via DMA, i.e. uncached).
+    pub twin_per_word: Cycles,
+    /// Append a page to the delayed update queue.
+    pub duq_insert: Cycles,
+
+    // --- Server ---
+    /// Server-side processing of an RREQ.
+    pub server_read: Cycles,
+    /// Server-side processing of a WREQ (write-tracking setup).
+    pub server_write: Cycles,
+    /// Server-side processing of a REL (directory walk, enter
+    /// REL_IN_PROG).
+    pub server_rel: Cycles,
+    /// Finalize a release once all acknowledgements have arrived
+    /// (merge bookkeeping, reply generation).
+    pub server_merge: Cycles,
+    /// Server-side processing of a WNOTIFY (read → write directory
+    /// move).
+    pub server_wnotify: Cycles,
+
+    // --- Remote Client ---
+    /// Dispatch into the Remote Client for INV/1WINV handling.
+    pub rc_entry: Cycles,
+    /// Interrupt a processor to invalidate one TLB entry (PINV).
+    pub pinv: Cycles,
+    /// Acknowledge a TLB invalidation (PINV_ACK).
+    pub pinv_ack: Cycles,
+    /// Remote-Client side of an UPGRADE request (privilege change
+    /// bookkeeping, excluding the twin copy).
+    pub rc_upgrade: Cycles,
+
+    // --- Release ---
+    /// Initiate a release (pop the DUQ head, marshal REL).
+    pub rel_entry: Cycles,
+    /// Complete a release after the RACK has been processed.
+    pub rel_finish: Cycles,
+
+    // --- Data movement ---
+    /// DMA transfer cost per 8-byte word (page data in messages).
+    pub dma_per_word: Cycles,
+    /// Page cleaning per cache line when no lines are dirty.
+    pub clean_line_clean: Cycles,
+    /// Page cleaning per cache line when lines are dirty in caches.
+    pub clean_line_dirty: Cycles,
+    /// Diff computation per word (compare page against twin).
+    pub diff_per_word: Cycles,
+    /// Diff data transfer per changed word.
+    pub diff_data_per_word: Cycles,
+    /// Diff application per changed word at the home.
+    pub diff_apply_per_word: Cycles,
+    /// Fixed overhead to set up one diff computation.
+    pub diff_setup: Cycles,
+
+    // --- Synchronization ---
+    /// Acquire a local lock whose SSMP already owns the token.
+    pub lock_local_acquire: Cycles,
+    /// Release a lock to a waiter in the same SSMP.
+    pub lock_local_release: Cycles,
+    /// Fixed software overhead of a token transfer between SSMPs
+    /// (global-lock bookkeeping at both ends, excluding the two
+    /// message crossings).
+    pub lock_token_fixed: Cycles,
+    /// Toggle one flag level of the intra-SSMP barrier tree.
+    pub barrier_flag: Cycles,
+    /// Fixed per-barrier-episode software overhead at each processor.
+    pub barrier_fixed: Cycles,
+    /// Handler cost per SSMP at the root of the inter-SSMP barrier
+    /// combine.
+    pub barrier_ssmp_handler: Cycles,
+}
+
+impl CostModel {
+    /// The calibrated default model (20 MHz Alewife, Table 3).
+    pub fn alewife() -> CostModel {
+        CostModel {
+            cache_hit: Cycles(2),
+            miss_local: Cycles(11),
+            miss_remote: Cycles(38),
+            miss_two_party: Cycles(42),
+            miss_three_party: Cycles(63),
+            miss_sw_directory: Cycles(425),
+            dir_hw_pointers: 5,
+
+            xlate_array: Cycles(18),
+            xlate_pointer: Cycles(24),
+
+            msg_send: Cycles(250),
+            msg_recv: Cycles(180),
+            intra_msg: Cycles(100),
+
+            fault_entry: Cycles(250),
+            fault_exit: Cycles(175),
+            pt_lock: Cycles(150),
+            pt_walk: Cycles(350),
+            tlb_insert: Cycles(112),
+            lc_miss_setup: Cycles(350),
+            lc_finish: Cycles(250),
+            page_install: Cycles(450),
+            twin_per_word: Cycles(40),
+            duq_insert: Cycles(100),
+
+            server_read: Cycles(673),
+            server_write: Cycles(962),
+            server_rel: Cycles(164),
+            server_merge: Cycles(150),
+            server_wnotify: Cycles(200),
+
+            rc_entry: Cycles(408),
+            pinv: Cycles(120),
+            pinv_ack: Cycles(80),
+            rc_upgrade: Cycles(300),
+
+            rel_entry: Cycles(200),
+            rel_finish: Cycles(120),
+
+            dma_per_word: Cycles(14),
+            clean_line_clean: Cycles(30),
+            clean_line_dirty: Cycles(90),
+            diff_per_word: Cycles(30),
+            diff_data_per_word: Cycles(14),
+            diff_apply_per_word: Cycles(13),
+            diff_setup: Cycles(54),
+
+            lock_local_acquire: Cycles(50),
+            lock_local_release: Cycles(30),
+            lock_token_fixed: Cycles(600),
+            barrier_flag: Cycles(20),
+            barrier_fixed: Cycles(200),
+            barrier_ssmp_handler: Cycles(150),
+        }
+    }
+
+    /// Per-line page-cleaning cost for the given tier.
+    pub fn clean_per_line(&self, tier: CleanTier) -> Cycles {
+        match tier {
+            CleanTier::Clean => self.clean_line_clean,
+            CleanTier::Dirty => self.clean_line_dirty,
+        }
+    }
+
+    /// Cost of cleaning a whole page of `lines` cache lines.
+    pub fn page_clean_cost(&self, lines: u64, tier: CleanTier) -> Cycles {
+        self.clean_per_line(tier) * lines
+    }
+
+    /// Cost of transferring a page of `words` 8-byte words via DMA.
+    pub fn page_dma_cost(&self, words: u64) -> Cycles {
+        self.dma_per_word * words
+    }
+
+    /// Cost of twinning a page of `words` words.
+    pub fn twin_cost(&self, words: u64) -> Cycles {
+        self.twin_per_word * words
+    }
+
+    /// Cost of computing a diff over `words` words.
+    pub fn diff_compute_cost(&self, words: u64) -> Cycles {
+        self.diff_setup + self.diff_per_word * words
+    }
+
+    /// Cost of transferring and applying a diff of `changed` words.
+    pub fn diff_transfer_apply_cost(&self, changed: u64) -> Cycles {
+        (self.diff_data_per_word + self.diff_apply_per_word) * changed
+    }
+
+    /// One inter-SSMP message crossing: send + wire latency + receive.
+    pub fn crossing(&self, ext_latency: Cycles) -> Cycles {
+        self.msg_send + ext_latency + self.msg_recv
+    }
+
+    // ------------------------------------------------------------------
+    // Composite reference costs (Table 3, bottom group)
+    // ------------------------------------------------------------------
+
+    /// TLB fill: a fault that finds a mapping in the local SSMP
+    /// (state-transition arc 1 of the protocol). Table 3: 1037 cycles.
+    pub fn tlb_fill_cost(&self) -> Cycles {
+        self.fault_entry + self.pt_lock + self.pt_walk + self.tlb_insert + self.fault_exit
+    }
+
+    /// Inter-SSMP read miss: fault → RREQ → server (clean home copy,
+    /// DMA out) → RDAT → install + map (arcs 5, 17, 6).
+    ///
+    /// Table 3: 6982 cycles at zero external latency, 1 KB pages
+    /// (`words = 128`, `lines = 64`).
+    pub fn read_miss_cost(&self, ext_latency: Cycles, words: u64, lines: u64) -> Cycles {
+        self.fault_entry
+            + self.pt_lock
+            + self.lc_miss_setup
+            + self.crossing(ext_latency) // RREQ
+            + self.server_read
+            + self.page_clean_cost(lines, CleanTier::Clean) // gather a globally coherent home image
+            + self.page_dma_cost(words)
+            + self.crossing(ext_latency) // RDAT
+            + self.page_install
+            + self.lc_finish
+            + self.tlb_insert
+            + self.fault_exit
+    }
+
+    /// Inter-SSMP write miss: like a read miss, but the home copy of a
+    /// write-shared page must be cleaned at the dirty tier, the server
+    /// sets up write tracking, and the client twins the incoming page
+    /// and enqueues it on the DUQ (arcs 5, 18, 7).
+    ///
+    /// Table 3: 16331 cycles at zero external latency, 1 KB pages.
+    pub fn write_miss_cost(&self, ext_latency: Cycles, words: u64, lines: u64) -> Cycles {
+        self.fault_entry
+            + self.pt_lock
+            + self.lc_miss_setup
+            + self.crossing(ext_latency) // WREQ
+            + self.server_write
+            + self.page_clean_cost(lines, CleanTier::Dirty)
+            + self.page_dma_cost(words)
+            + self.crossing(ext_latency) // WDAT
+            + self.page_install
+            + self.twin_cost(words)
+            + self.duq_insert
+            + self.lc_finish
+            + self.tlb_insert
+            + self.fault_exit
+    }
+
+    /// Release with a single writer SSMP (the single-writer
+    /// optimization path: 1WINV / 1WDATA, arcs 8, 20, 14, 16, 23, 9).
+    /// The writer cleans its copy and ships the whole page; the home
+    /// cleans its own copy and overwrites it.
+    ///
+    /// Table 3: 14226 cycles at zero external latency, 1 KB pages,
+    /// one mapping processor at the writer.
+    pub fn release_one_writer_cost(&self, ext_latency: Cycles, words: u64, lines: u64) -> Cycles {
+        self.rel_entry
+            + self.crossing(ext_latency) // REL
+            + self.server_rel
+            + self.crossing(ext_latency) // 1WINV
+            + self.rc_entry
+            + self.page_clean_cost(lines, CleanTier::Dirty)
+            + self.pinv
+            + self.pinv_ack
+            + self.page_dma_cost(words) // 1WDATA out
+            + self.crossing(ext_latency)
+            + self.page_clean_cost(lines, CleanTier::Clean) // home copy
+            + self.page_dma_cost(words) // copy into home
+            + self.server_merge
+            + self.crossing(ext_latency) // RACK
+            + self.rel_finish
+    }
+
+    /// Release with `writers >= 2` writer SSMPs: each is invalidated in
+    /// turn, cleans its copy, computes a diff of `changed_words`, and
+    /// ships it to the home where it is applied (arcs 8, 20, 14, 16,
+    /// 22, 23, 9).
+    ///
+    /// Table 3: 32570 cycles for two writers with full-page diffs at
+    /// zero external latency, 1 KB pages.
+    pub fn release_multi_writer_cost(
+        &self,
+        ext_latency: Cycles,
+        words: u64,
+        lines: u64,
+        writers: u64,
+        changed_words: u64,
+    ) -> Cycles {
+        let per_writer = self.crossing(ext_latency) // INV
+            + self.rc_entry
+            + self.page_clean_cost(lines, CleanTier::Dirty)
+            + self.pinv
+            + self.pinv_ack
+            + self.diff_compute_cost(words)
+            + self.crossing(ext_latency) // DIFF
+            + self.diff_transfer_apply_cost(changed_words);
+        self.rel_entry
+            + self.crossing(ext_latency) // REL
+            + self.server_rel
+            + per_writer * writers
+            + self.page_clean_cost(lines, CleanTier::Clean) // home copy
+            + self.server_merge
+            + self.crossing(ext_latency) // RACK
+            + self.rel_finish
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::alewife()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE_WORDS: u64 = 128; // 1 KB pages, 8-byte words
+    const PAGE_LINES: u64 = 64; // 16-byte cache lines
+
+    #[test]
+    fn table3_hardware_shared_memory() {
+        let cm = CostModel::alewife();
+        assert_eq!(cm.miss_local, Cycles(11));
+        assert_eq!(cm.miss_remote, Cycles(38));
+        assert_eq!(cm.miss_two_party, Cycles(42));
+        assert_eq!(cm.miss_three_party, Cycles(63));
+        assert_eq!(cm.miss_sw_directory, Cycles(425));
+    }
+
+    #[test]
+    fn table3_translation() {
+        let cm = CostModel::alewife();
+        assert_eq!(cm.xlate_array, Cycles(18));
+        assert_eq!(cm.xlate_pointer, Cycles(24));
+    }
+
+    #[test]
+    fn table3_tlb_fill() {
+        assert_eq!(CostModel::alewife().tlb_fill_cost(), Cycles(1037));
+    }
+
+    #[test]
+    fn table3_inter_ssmp_read_miss() {
+        let cm = CostModel::alewife();
+        assert_eq!(
+            cm.read_miss_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES),
+            Cycles(6982)
+        );
+    }
+
+    #[test]
+    fn table3_inter_ssmp_write_miss() {
+        let cm = CostModel::alewife();
+        assert_eq!(
+            cm.write_miss_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES),
+            Cycles(16331)
+        );
+    }
+
+    #[test]
+    fn table3_release_one_writer() {
+        let cm = CostModel::alewife();
+        assert_eq!(
+            cm.release_one_writer_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES),
+            Cycles(14226)
+        );
+    }
+
+    #[test]
+    fn table3_release_two_writers() {
+        let cm = CostModel::alewife();
+        assert_eq!(
+            cm.release_multi_writer_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES, 2, PAGE_WORDS),
+            Cycles(32570)
+        );
+    }
+
+    #[test]
+    fn external_latency_adds_per_crossing() {
+        let cm = CostModel::alewife();
+        let base = cm.read_miss_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES);
+        let with = cm.read_miss_cost(Cycles(1000), PAGE_WORDS, PAGE_LINES);
+        // A read miss has exactly two inter-SSMP crossings (RREQ, RDAT).
+        assert_eq!(with, base + Cycles(2000));
+    }
+
+    #[test]
+    fn release_crossing_counts() {
+        let cm = CostModel::alewife();
+        // 1-writer release: REL, 1WINV, 1WDATA, RACK = 4 crossings.
+        let d = cm.release_one_writer_cost(Cycles(100), PAGE_WORDS, PAGE_LINES)
+            - cm.release_one_writer_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES);
+        assert_eq!(d, Cycles(400));
+        // 2-writer release: REL, 2×(INV, DIFF), RACK = 6 crossings.
+        let d2 = cm.release_multi_writer_cost(Cycles(100), PAGE_WORDS, PAGE_LINES, 2, PAGE_WORDS)
+            - cm.release_multi_writer_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES, 2, PAGE_WORDS);
+        assert_eq!(d2, Cycles(600));
+    }
+
+    #[test]
+    fn clean_tiers_are_ordered() {
+        let cm = CostModel::alewife();
+        assert!(cm.clean_per_line(CleanTier::Dirty) > cm.clean_per_line(CleanTier::Clean));
+    }
+
+    #[test]
+    fn smaller_diffs_are_cheaper() {
+        let cm = CostModel::alewife();
+        let small = cm.release_multi_writer_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES, 2, 4);
+        let full =
+            cm.release_multi_writer_cost(Cycles::ZERO, PAGE_WORDS, PAGE_LINES, 2, PAGE_WORDS);
+        assert!(small < full);
+    }
+
+    #[test]
+    fn default_is_alewife() {
+        assert_eq!(CostModel::default(), CostModel::alewife());
+    }
+}

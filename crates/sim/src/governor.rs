@@ -1,0 +1,237 @@
+//! Windowed time governor bounding simulated-clock skew.
+
+use crate::Cycles;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounds the skew between the simulated clocks of concurrently-running
+/// processor threads.
+///
+/// The simulator is execution-driven: each simulated processor is a real
+/// OS thread that advances its own simulated clock. Without coordination
+/// a fast thread could race arbitrarily far ahead in simulated time,
+/// distorting the order in which contended resources (locks, work
+/// queues) are granted. The governor divides simulated time into windows
+/// of `window` cycles; a thread whose clock has passed the current
+/// window's end waits until every other *runnable* thread has also
+/// reached it, at which point the window advances.
+///
+/// Threads that block on real synchronization (a held lock, a barrier,
+/// a page-fill in progress) must mark themselves with
+/// [`TimeGovernor::blocked`] so that the window can advance without
+/// them; otherwise the simulation would deadlock.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mgs_sim::{Cycles, TimeGovernor};
+///
+/// let gov = Arc::new(TimeGovernor::new(2, Cycles(1000)));
+/// let g2 = Arc::clone(&gov);
+/// let t = std::thread::spawn(move || {
+///     g2.tick(1, Cycles(2500)); // waits for thread 0 to catch up
+/// });
+/// gov.tick(0, Cycles(2600));
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct TimeGovernor {
+    state: Mutex<GovState>,
+    cond: Condvar,
+    window: u64,
+    /// Mirror of `state.window_end` for the lock-free fast path.
+    window_end: AtomicU64,
+}
+
+#[derive(Debug)]
+struct GovState {
+    /// End of the current window in cycles.
+    window_end: u64,
+    /// Per-thread status.
+    status: Vec<ThreadStatus>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadStatus {
+    /// Running within the current window.
+    Running,
+    /// Waiting at the window boundary with the given local time.
+    AtGate(u64),
+    /// Blocked on real synchronization; excluded from window advance.
+    Blocked,
+    /// Finished; permanently excluded.
+    Done,
+}
+
+impl TimeGovernor {
+    /// Creates a governor for `n` threads with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `window` is zero cycles.
+    pub fn new(n: usize, window: Cycles) -> TimeGovernor {
+        assert!(n > 0, "governor needs at least one thread");
+        assert!(!window.is_zero(), "governor window must be nonzero");
+        TimeGovernor {
+            state: Mutex::new(GovState {
+                window_end: window.raw(),
+                status: vec![ThreadStatus::Running; n],
+            }),
+            cond: Condvar::new(),
+            window: window.raw(),
+            window_end: AtomicU64::new(window.raw()),
+        }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> Cycles {
+        Cycles(self.window)
+    }
+
+    /// Called by thread `id` between operations with its current local
+    /// time. If the thread has run past the current window it waits
+    /// until the window advances.
+    pub fn tick(&self, id: usize, local_time: Cycles) {
+        let t = local_time.raw();
+        // Lock-free fast path: threads inside the window (the common
+        // case) never take the mutex, so small windows stay cheap.
+        if t < self.window_end.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.state.lock();
+        if t < st.window_end {
+            // The window advanced while we were acquiring the lock.
+            st.status[id] = ThreadStatus::Running;
+            return;
+        }
+        st.status[id] = ThreadStatus::AtGate(t);
+        self.try_advance(&mut st);
+        while t >= st.window_end {
+            self.cond.wait(&mut st);
+        }
+        st.status[id] = ThreadStatus::Running;
+    }
+
+    /// Marks thread `id` as blocked on real synchronization. The window
+    /// may advance without it. Pair with [`unblocked`](Self::unblocked).
+    pub fn blocked(&self, id: usize) {
+        let mut st = self.state.lock();
+        st.status[id] = ThreadStatus::Blocked;
+        self.try_advance(&mut st);
+    }
+
+    /// Marks thread `id` as runnable again after a real block.
+    pub fn unblocked(&self, id: usize) {
+        let mut st = self.state.lock();
+        st.status[id] = ThreadStatus::Running;
+    }
+
+    /// Marks thread `id` as finished for the rest of the run.
+    pub fn finished(&self, id: usize) {
+        let mut st = self.state.lock();
+        st.status[id] = ThreadStatus::Done;
+        self.try_advance(&mut st);
+    }
+
+    /// Advances the window if no thread is still running inside it.
+    fn try_advance(&self, st: &mut GovState) {
+        let mut min_gate: Option<u64> = None;
+        for s in &st.status {
+            match *s {
+                ThreadStatus::Running => return, // someone still inside
+                ThreadStatus::AtGate(t) => {
+                    min_gate = Some(min_gate.map_or(t, |m: u64| m.min(t)));
+                }
+                ThreadStatus::Blocked | ThreadStatus::Done => {}
+            }
+        }
+        let Some(t) = min_gate else {
+            return; // everyone blocked or done; nothing to gate
+        };
+        // Advance just far enough for the earliest gated thread to fit
+        // inside the window. (steps == 0 means a previously-gated
+        // thread that already fits has not woken yet: nothing to do.)
+        let needed = t + 1;
+        let steps = needed.saturating_sub(st.window_end).div_ceil(self.window);
+        if steps == 0 {
+            return;
+        }
+        st.window_end += steps * self.window;
+        self.window_end.store(st.window_end, Ordering::Release);
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_never_waits() {
+        let gov = TimeGovernor::new(1, Cycles(100));
+        for t in (0..10_000).step_by(37) {
+            gov.tick(0, Cycles(t));
+        }
+    }
+
+    #[test]
+    fn fast_thread_waits_for_slow() {
+        let gov = Arc::new(TimeGovernor::new(2, Cycles(100)));
+        let g = Arc::clone(&gov);
+        let fast = std::thread::spawn(move || {
+            g.tick(0, Cycles(1000)); // far ahead; must wait
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!fast.is_finished(), "fast thread should be gated");
+        // Slow thread reaches the gate too; window advances.
+        gov.tick(1, Cycles(990));
+        // The slow thread retires; the window may now advance past the
+        // fast thread's gate.
+        gov.finished(1);
+        fast.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_thread_does_not_hold_window() {
+        let gov = Arc::new(TimeGovernor::new(2, Cycles(100)));
+        gov.blocked(1);
+        // Thread 0 can sail through many windows alone.
+        for t in (0..5_000).step_by(100) {
+            gov.tick(0, Cycles(t));
+        }
+        gov.unblocked(1);
+        gov.finished(1);
+        gov.tick(0, Cycles(10_000));
+    }
+
+    #[test]
+    fn finished_thread_does_not_hold_window() {
+        let gov = Arc::new(TimeGovernor::new(2, Cycles(50)));
+        gov.finished(1);
+        gov.tick(0, Cycles(100_000));
+    }
+
+    #[test]
+    fn many_threads_progress_together() {
+        let n = 8;
+        let gov = Arc::new(TimeGovernor::new(n, Cycles(10)));
+        let mut handles = Vec::new();
+        for id in 0..n {
+            let g = Arc::clone(&gov);
+            handles.push(std::thread::spawn(move || {
+                let mut t = 0u64;
+                for step in 0..200 {
+                    t += 1 + ((id as u64 + step) % 7);
+                    g.tick(id, Cycles(t));
+                }
+                g.finished(id);
+                t
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

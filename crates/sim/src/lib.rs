@@ -1,0 +1,52 @@
+//! Simulation substrate for the MGS reproduction.
+//!
+//! This crate provides the building blocks shared by every layer of the
+//! DSSMP simulator:
+//!
+//! * [`Cycles`] — simulated time, measured in processor clock cycles of a
+//!   20 MHz Alewife node (the platform of the original paper).
+//! * [`CostCategory`] / [`CycleAccount`] — the four-way runtime breakdown
+//!   (User / Lock / Barrier / MGS) used by Figures 6–10 and 12 of the
+//!   paper.
+//! * [`ProcClock`] — a per-processor local clock with category charging.
+//! * [`CostModel`] — every latency constant in the simulator, calibrated
+//!   so that the primitive-operation costs of Table 3 of the paper are
+//!   reproduced.
+//! * [`Occupancy`] — an occupancy clock modelling a contended serial
+//!   resource (a protocol engine, a LAN interface, a lock token).
+//! * [`TimeGovernor`] — a windowed skew bound keeping the simulated
+//!   clocks of concurrently-running processor threads close together.
+//! * [`XorShift64`] — a small deterministic RNG used by workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use mgs_sim::{Cycles, CostCategory, ProcClock};
+//!
+//! let mut clock = ProcClock::new();
+//! clock.charge(CostCategory::User, Cycles(100));
+//! clock.charge(CostCategory::Mgs, Cycles(50));
+//! assert_eq!(clock.now(), Cycles(150));
+//! assert_eq!(clock.account().get(CostCategory::User), Cycles(100));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod account;
+mod clock;
+mod cost;
+mod governor;
+mod resource;
+mod rng;
+mod stats;
+mod time;
+
+pub use account::{CostCategory, CycleAccount};
+pub use clock::ProcClock;
+pub use cost::{CleanTier, CostModel};
+pub use governor::TimeGovernor;
+pub use resource::Occupancy;
+pub use rng::XorShift64;
+pub use stats::{Counter, RunningStats};
+pub use time::Cycles;

@@ -1,0 +1,202 @@
+//! Lightweight statistics utilities.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe event counter.
+///
+/// # Example
+///
+/// ```
+/// use mgs_sim::Counter;
+///
+/// let c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// Running mean / min / max over a stream of samples.
+///
+/// # Example
+///
+/// ```
+/// use mgs_sim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// s.push(2.0);
+/// s.push(4.0);
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> RunningStats {
+        RunningStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample seen (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        for _ in 0..10 {
+            c.incr();
+        }
+        c.add(5);
+        assert_eq!(c.get(), 15);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_tracks_extremes() {
+        let mut s = RunningStats::new();
+        for x in [5.0, -1.0, 3.5] {
+            s.push(x);
+        }
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 5.0);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let c = Counter::new();
+        assert!(!c.to_string().is_empty());
+        let s = RunningStats::new();
+        assert!(!s.to_string().is_empty());
+    }
+}

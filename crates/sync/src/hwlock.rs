@@ -1,0 +1,133 @@
+//! Intra-SSMP hardware locks.
+
+use mgs_sim::{CostModel, Cycles};
+use parking_lot::{Condvar, Mutex};
+
+/// A plain hardware spin lock (LL/SC over hardware cache coherence).
+///
+/// Unlike [`MgsLock`](crate::MgsLock), acquiring or releasing a
+/// hardware lock performs **no software coherence actions**: it is not
+/// a release point for the delayed update queue. It is therefore only
+/// correct when every processor that touches the protected data lives
+/// in the *same SSMP* for the duration of the sharing (hardware cache
+/// coherence keeps them consistent), as in the tiled Water kernel of
+/// §5.2.3 where each tile is exclusive to one SSMP within a phase and
+/// the phase barrier performs the page-grain release.
+///
+/// # Example
+///
+/// ```
+/// use mgs_sync::HwLock;
+/// use mgs_sim::{CostModel, Cycles};
+///
+/// let lock = HwLock::new(CostModel::alewife());
+/// let t = lock.acquire(Cycles(100));
+/// lock.release(t + Cycles(10));
+/// ```
+#[derive(Debug)]
+pub struct HwLock {
+    inner: Mutex<HwInner>,
+    cond: Condvar,
+    acquire_cost: Cycles,
+    release_cost: Cycles,
+}
+
+#[derive(Debug)]
+struct HwInner {
+    held: bool,
+    free_at: Cycles,
+}
+
+impl HwLock {
+    /// Creates an unheld hardware lock.
+    pub fn new(cost: CostModel) -> HwLock {
+        HwLock {
+            inner: Mutex::new(HwInner {
+                held: false,
+                free_at: Cycles::ZERO,
+            }),
+            cond: Condvar::new(),
+            acquire_cost: cost.lock_local_acquire,
+            release_cost: cost.lock_local_release,
+        }
+    }
+
+    /// Acquires at simulated time `now`, blocking the calling thread
+    /// while held. Returns the simulated grant time.
+    pub fn acquire(&self, now: Cycles) -> Cycles {
+        let mut inner = self.inner.lock();
+        while inner.held {
+            self.cond.wait(&mut inner);
+        }
+        inner.held = true;
+        now.max(inner.free_at) + self.acquire_cost
+    }
+
+    /// Releases at simulated time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn release(&self, now: Cycles) {
+        let mut inner = self.inner.lock();
+        assert!(inner.held, "release of an unheld hardware lock");
+        inner.held = false;
+        inner.free_at = now.max(inner.free_at) + self.release_cost;
+        self.cond.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn grant_time_includes_acquire_cost() {
+        let l = HwLock::new(CostModel::alewife());
+        let t = l.acquire(Cycles(100));
+        assert_eq!(t, Cycles(100) + CostModel::alewife().lock_local_acquire);
+        l.release(t);
+    }
+
+    #[test]
+    fn successor_waits_for_release_time() {
+        let l = HwLock::new(CostModel::alewife());
+        let t = l.acquire(Cycles(0));
+        l.release(t + Cycles(5000));
+        let t2 = l.acquire(Cycles(0));
+        assert!(t2 > t + Cycles(5000));
+        l.release(t2);
+    }
+
+    #[test]
+    fn provides_real_mutual_exclusion() {
+        let l = Arc::new(HwLock::new(CostModel::alewife()));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let t = l.acquire(Cycles(0));
+                        let v = c.load(std::sync::atomic::Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        c.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        l.release(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "unheld")]
+    fn release_unheld_panics() {
+        HwLock::new(CostModel::alewife()).release(Cycles(0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Physical page frames: the actual backing store.
+
+use crate::PageGeometry;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A physical page frame.
+///
+/// Holds the page's data as atomic 64-bit words so that the simulated
+/// applications compute **real, verifiable results** — coherence bugs in
+/// the protocol implementation show up as wrong numerical answers in the
+/// application test suite.
+///
+/// Each frame has:
+///
+/// * a unique **physical base address** (used by the cache model to form
+///   line addresses),
+/// * a **home node** (the global processor id whose memory holds it —
+///   first-touch placement within the SSMP, §3.1.2 of the paper),
+/// * an **access guard**: memory accesses hold it shared; a page
+///   invalidation takes it exclusively *after* the TLB shootdown, which
+///   drains in-flight accesses. This is the simulator's analogue of the
+///   paper's "translation critical section" roll-back mechanism
+///   (§4.2.1).
+#[derive(Debug)]
+pub struct PageFrame {
+    base: u64,
+    home_node: usize,
+    words: Box<[AtomicU64]>,
+    guard: RwLock<()>,
+    generation: AtomicU64,
+}
+
+impl PageFrame {
+    /// Physical base address (aligned to the page size).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Global processor id whose memory holds this frame.
+    pub fn home_node(&self) -> usize {
+        self.home_node
+    }
+
+    /// Number of 8-byte words in the frame.
+    pub fn len_words(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// Loads the word at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn load(&self, idx: u64) -> u64 {
+        self.words[idx as usize].load(Ordering::Acquire)
+    }
+
+    /// Stores `value` at word `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn store(&self, idx: u64, value: u64) {
+        self.words[idx as usize].store(value, Ordering::Release);
+    }
+
+    /// Atomically snapshots the frame contents (used for twins and
+    /// diffs).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Overwrites the frame with `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the frame.
+    pub fn fill(&self, data: &[u64]) {
+        assert!(data.len() <= self.words.len(), "fill larger than frame");
+        for (w, &v) in self.words.iter().zip(data) {
+            w.store(v, Ordering::Release);
+        }
+    }
+
+    /// Takes the access guard shared; memory operations hold this across
+    /// the word access.
+    pub fn begin_access(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
+        self.guard.read()
+    }
+
+    /// Takes the access guard exclusively, draining in-flight accesses.
+    /// The protocol holds this while computing diffs and pruning DUQs so
+    /// that no store can land unrecorded.
+    pub fn quiesce(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
+        self.guard.write()
+    }
+
+    /// The frame's mapping generation. A TLB entry is only valid while
+    /// its recorded generation matches; invalidations bump it (under
+    /// the quiesce guard), which forces accesses that cloned the entry
+    /// before the shootdown to re-fault instead of touching a retired
+    /// or re-armed copy. This is the simulator's equivalent of the
+    /// paper's translation-critical-section rollback (§4.2.1).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Bumps the mapping generation. Call only while holding the
+    /// [`quiesce`](PageFrame::quiesce) guard.
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Line addresses (for the cache model) covering this frame.
+    pub fn lines(&self) -> impl Iterator<Item = u64> {
+        let first = self.base / PageGeometry::LINE_BYTES;
+        let count = self.len_words() * PageGeometry::WORD_BYTES / PageGeometry::LINE_BYTES;
+        first..first + count
+    }
+
+    /// Line address (for the cache model) containing word `idx`.
+    #[inline]
+    pub fn line_of_word(&self, idx: u64) -> u64 {
+        (self.base + idx * PageGeometry::WORD_BYTES) / PageGeometry::LINE_BYTES
+    }
+}
+
+/// Allocates [`PageFrame`]s with unique physical base addresses.
+///
+/// # Example
+///
+/// ```
+/// use mgs_vm::{FrameAllocator, PageGeometry};
+///
+/// let alloc = FrameAllocator::new(PageGeometry::default());
+/// let a = alloc.alloc(0);
+/// let b = alloc.alloc(3);
+/// assert_ne!(a.base(), b.base());
+/// assert_eq!(b.home_node(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FrameAllocator {
+    geometry: PageGeometry,
+    next_base: AtomicU64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator for the given geometry. Physical addresses
+    /// start at one page (so that no frame has base 0).
+    pub fn new(geometry: PageGeometry) -> FrameAllocator {
+        FrameAllocator {
+            geometry,
+            next_base: AtomicU64::new(geometry.page_bytes()),
+        }
+    }
+
+    /// The geometry frames are allocated with.
+    pub fn geometry(&self) -> PageGeometry {
+        self.geometry
+    }
+
+    /// Allocates a zeroed frame homed at global processor `home_node`.
+    pub fn alloc(&self, home_node: usize) -> Arc<PageFrame> {
+        let bytes = self.geometry.page_bytes();
+        let base = self.next_base.fetch_add(bytes, Ordering::Relaxed);
+        let words = (0..self.geometry.words_per_page())
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(PageFrame {
+            base,
+            home_node,
+            words,
+            guard: RwLock::new(()),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of frames allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next_base.load(Ordering::Relaxed) / self.geometry.page_bytes() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> FrameAllocator {
+        FrameAllocator::new(PageGeometry::default())
+    }
+
+    #[test]
+    fn frames_are_zeroed() {
+        let f = alloc().alloc(0);
+        assert!((0..f.len_words()).all(|i| f.load(i) == 0));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let f = alloc().alloc(0);
+        f.store(5, 0xDEAD_BEEF);
+        assert_eq!(f.load(5), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn unique_page_aligned_bases() {
+        let a = alloc();
+        let f1 = a.alloc(0);
+        let f2 = a.alloc(1);
+        assert_eq!(f1.base() % 1024, 0);
+        assert_eq!(f2.base(), f1.base() + 1024);
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn snapshot_and_fill() {
+        let f = alloc().alloc(0);
+        f.store(0, 1);
+        f.store(127, 2);
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), 128);
+        assert_eq!((snap[0], snap[127]), (1, 2));
+        let g = alloc().alloc(0);
+        g.fill(&snap);
+        assert_eq!(g.load(127), 2);
+    }
+
+    #[test]
+    fn lines_cover_frame() {
+        let a = alloc();
+        let f = a.alloc(0);
+        let lines: Vec<u64> = f.lines().collect();
+        assert_eq!(lines.len(), 64);
+        assert_eq!(lines[0], f.base() / 16);
+        assert_eq!(f.line_of_word(0), lines[0]);
+        assert_eq!(f.line_of_word(2), lines[1]);
+        assert_eq!(f.line_of_word(127), lines[63]);
+    }
+
+    #[test]
+    fn guard_excludes_quiesce_during_access() {
+        let f = alloc().alloc(0);
+        let read = f.begin_access();
+        assert!(f.guard.try_write().is_none());
+        drop(read);
+        assert!(f.guard.try_write().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_load_panics() {
+        alloc().alloc(0).load(9999);
+    }
+}

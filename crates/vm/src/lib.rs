@@ -1,0 +1,40 @@
+//! Software virtual memory for the MGS reproduction.
+//!
+//! Alewife has no hardware virtual memory; MGS performs address
+//! translation in software (§4.2.1 of the paper). The compiler in-lines
+//! translation code before every shared access: the code consults the
+//! processor's local page table (the "software TLB" of this crate),
+//! checks access rights, and forms a physical address. Accesses that
+//! miss or violate rights trap into the MGS Local Client.
+//!
+//! This crate provides:
+//!
+//! * [`PageGeometry`] — page size and derived word/line counts
+//!   (default **1 KB** pages, the size used for all results in the
+//!   paper).
+//! * [`PageFrame`] — a physical page: the actual backing store (atomic
+//!   64-bit words, so simulated applications compute real results), a
+//!   physical base address for the cache model, a home node for
+//!   first-touch placement, and an access guard that lets the protocol
+//!   drain in-flight accesses before invalidating.
+//! * [`FrameAllocator`] — allocates frames with unique physical
+//!   addresses.
+//! * [`Tlb`] — the per-processor mapping table with the three states of
+//!   the paper's Local Client (no entry = `TLB_INV`, read-only entry =
+//!   `TLB_READ`, writable entry = `TLB_WRITE`).
+//! * [`SharedHeap`] / [`VRange`] — virtual address allocation for
+//!   shared objects, tagged with the [`AccessKind`] that determines the
+//!   inline-translation cost (distributed array vs. pointer).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod frame;
+mod heap;
+mod tlb;
+
+pub use addr::{PageGeometry, VIRT_BASE};
+pub use frame::{FrameAllocator, PageFrame};
+pub use heap::{AccessKind, SharedHeap, VRange};
+pub use tlb::{Tlb, TlbEntry, TlbStats};

@@ -1,0 +1,76 @@
+//! Writing your own application against the MGS machine: a parallel
+//! histogram with a tiled reduction, showing stripes, locks, barriers
+//! and the runtime breakdown.
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use mgs_repro::core::{AccessKind, CostCategory, DssmpConfig, Machine};
+use mgs_repro::sim::XorShift64;
+
+const ITEMS: u64 = 16_384;
+const BUCKETS: u64 = 64;
+
+fn main() {
+    let machine = Machine::new(DssmpConfig::new(8, 4));
+
+    // Input items, block-distributed so each processor's stripe is
+    // homed locally (the idiom every paper application uses).
+    let input = machine.alloc_array_blocked::<u64>(ITEMS, AccessKind::DistArray);
+    // One private histogram per processor (no sharing during counting),
+    // plus the final shared histogram.
+    let private = machine.alloc_array_blocked::<u64>(8 * BUCKETS, AccessKind::DistArray);
+    let hist = machine.alloc_array_homed::<u64>(BUCKETS, AccessKind::DistArray, |_| 0);
+
+    // Deterministic workload.
+    let mut rng = XorShift64::new(7);
+    let mut expect = vec![0u64; BUCKETS as usize];
+    for i in 0..ITEMS {
+        let v = rng.next_below(BUCKETS);
+        machine.poke(&input, i, v);
+        expect[v as usize] += 1;
+    }
+
+    let report = machine.run(|env| {
+        let pid = env.pid() as u64;
+        let stride = ITEMS / env.nprocs() as u64;
+        env.barrier();
+        env.start_measurement();
+
+        // Phase 1: count into the private histogram.
+        for i in pid * stride..(pid + 1) * stride {
+            let v = input.read(env, i);
+            env.compute(20);
+            let slot = pid * BUCKETS + v;
+            let c = private.read(env, slot);
+            private.write(env, slot, c + 1);
+        }
+        env.barrier();
+
+        // Phase 2: tiled reduction — each processor owns a bucket range
+        // and folds every private histogram into it. Disjoint writes:
+        // no locks needed.
+        let bper = BUCKETS / env.nprocs() as u64;
+        for b in pid * bper..(pid + 1) * bper {
+            let mut sum = 0;
+            for p in 0..env.nprocs() as u64 {
+                sum += private.read(env, p * BUCKETS + b);
+            }
+            env.compute(30);
+            hist.write(env, b, sum);
+        }
+        env.barrier();
+    });
+
+    for b in 0..BUCKETS {
+        assert_eq!(machine.peek(&hist, b), expect[b as usize], "bucket {b}");
+    }
+    println!("Histogram of {ITEMS} items over {BUCKETS} buckets verified.");
+    println!("\n{report}");
+    println!(
+        "\nMGS time fraction: {:.1}% — try changing the cluster size in\n\
+         DssmpConfig::new(8, C) and watch the breakdown shift.",
+        100.0 * report.fraction(CostCategory::Mgs)
+    );
+}

@@ -1,0 +1,15 @@
+//! Facade crate for the MGS reproduction.
+//!
+//! Re-exports the public API of every crate in the workspace so that
+//! examples and downstream users can depend on a single crate. See the
+//! repository `README.md` for an overview and `DESIGN.md` for the system
+//! inventory.
+
+pub use mgs_apps as apps;
+pub use mgs_cache as cache;
+pub use mgs_core as core;
+pub use mgs_net as net;
+pub use mgs_proto as proto;
+pub use mgs_sim as sim;
+pub use mgs_sync as sync;
+pub use mgs_vm as vm;
