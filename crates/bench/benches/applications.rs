@@ -1,12 +1,16 @@
-//! Criterion benchmarks of whole-application simulations at reduced
-//! problem sizes: one per table/figure workload, at the cluster sizes
-//! that bracket the paper's sweep (C = 1 and C = P). These keep
-//! end-to-end simulator throughput visible; the paper-scale runs live
-//! in the harness binaries (`table4`, `figures`, …).
+//! Benchmarks of whole-application simulations at reduced problem
+//! sizes: one per table/figure workload, at the cluster sizes that
+//! bracket the paper's sweep (C = 1 and C = P). These keep end-to-end
+//! simulator throughput visible; the paper-scale runs live in the
+//! harness binaries (`table4`, `figures`, …).
+//!
+//! Run with `cargo bench -p mgs-bench --bench applications`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mgs_apps::{jacobi::Jacobi, matmul::MatMul, tsp::Tsp, water::Water, MgsApp};
+use mgs_bench::stopwatch::{report, time_n};
 use mgs_core::{DssmpConfig, Machine};
+
+const REPS: u64 = 5;
 
 fn cfg(p: usize, c: usize) -> DssmpConfig {
     let mut cfg = DssmpConfig::new(p, c);
@@ -14,45 +18,35 @@ fn cfg(p: usize, c: usize) -> DssmpConfig {
     cfg
 }
 
-fn bench_app(c: &mut Criterion, name: &str, app: &dyn MgsApp, cluster: usize) {
-    c.bench_function(name, |b| {
-        b.iter(|| app.execute(&Machine::new(cfg(8, cluster))).duration)
+fn bench_app(name: &str, app: &dyn MgsApp, cluster: usize) {
+    let m = time_n(REPS, |_| {
+        std::hint::black_box(app.execute(&Machine::new(cfg(8, cluster))).duration);
     });
+    report(name, &m);
 }
 
-fn jacobi(c: &mut Criterion) {
-    let app = Jacobi::small();
-    bench_app(c, "app/jacobi/C=1", &app, 1);
-    bench_app(c, "app/jacobi/C=8", &app, 8);
-}
+fn main() {
+    let jacobi = Jacobi::small();
+    bench_app("app/jacobi/C=1", &jacobi, 1);
+    bench_app("app/jacobi/C=8", &jacobi, 8);
 
-fn matmul(c: &mut Criterion) {
-    let app = MatMul::small();
-    bench_app(c, "app/matmul/C=1", &app, 1);
-    bench_app(c, "app/matmul/C=8", &app, 8);
-}
+    let matmul = MatMul::small();
+    bench_app("app/matmul/C=1", &matmul, 1);
+    bench_app("app/matmul/C=8", &matmul, 8);
 
-fn tsp(c: &mut Criterion) {
-    let app = Tsp::small();
-    bench_app(c, "app/tsp/C=1", &app, 1);
-    bench_app(c, "app/tsp/C=8", &app, 8);
-}
+    let tsp = Tsp::small();
+    bench_app("app/tsp/C=1", &tsp, 1);
+    bench_app("app/tsp/C=8", &tsp, 8);
 
-fn water(c: &mut Criterion) {
     // Water uses the verification-free runner: the bench loop executes
-    // the app dozens of times and measures simulator throughput only.
-    let app = Water::small();
-    c.bench_function("app/water/C=1", |b| {
-        b.iter(|| app.run_unverified(&Machine::new(cfg(8, 1))).duration)
+    // the app several times and measures simulator throughput only.
+    let water = Water::small();
+    let m = time_n(REPS, |_| {
+        std::hint::black_box(water.run_unverified(&Machine::new(cfg(8, 1))).duration);
     });
-    c.bench_function("app/water/C=8", |b| {
-        b.iter(|| app.run_unverified(&Machine::new(cfg(8, 8))).duration)
+    report("app/water/C=1", &m);
+    let m = time_n(REPS, |_| {
+        std::hint::black_box(water.run_unverified(&Machine::new(cfg(8, 8))).duration);
     });
+    report("app/water/C=8", &m);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = jacobi, matmul, tsp, water
-}
-criterion_main!(benches);

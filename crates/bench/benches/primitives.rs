@@ -1,39 +1,47 @@
-//! Criterion micro-benchmarks of the simulator's primitive operations:
-//! these measure *host* (wall-clock) performance of the substrate, not
+//! Micro-benchmarks of the simulator's primitive operations: these
+//! measure *host* (wall-clock) performance of the substrate, not
 //! simulated cycles — they exist to keep the simulator itself fast and
 //! to catch performance regressions in the hot paths.
+//!
+//! Run with `cargo bench -p mgs-bench --bench primitives`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mgs_bench::stopwatch::{report, time_for, time_n};
 use mgs_cache::{CacheConfig, ProcCache, SsmpCacheSystem};
 use mgs_proto::{MgsProtocol, PageDiff, ProtoConfig, RecordingTiming};
 use mgs_sim::{CostModel, Cycles, Occupancy, XorShift64};
 use mgs_sync::MgsLock;
 use mgs_vm::{FrameAllocator, PageGeometry, Tlb, TlbEntry};
+use std::time::Duration;
 
-fn bench_diff(c: &mut Criterion) {
+const WINDOW: Duration = Duration::from_millis(200);
+
+fn bench_diff() {
     let twin: Vec<u64> = (0..128).collect();
     let mut cur = twin.clone();
     for i in (0..128).step_by(4) {
         cur[i] += 1;
     }
-    c.bench_function("diff/compute_128_words", |b| {
-        b.iter(|| PageDiff::compute(std::hint::black_box(&cur), std::hint::black_box(&twin)))
+    let m = time_for(WINDOW, |_| {
+        std::hint::black_box(PageDiff::compute(
+            std::hint::black_box(&cur),
+            std::hint::black_box(&twin),
+        ));
     });
+    report("diff/compute_128_words", &m);
 }
 
-fn bench_cache_access(c: &mut Criterion) {
+fn bench_cache_access() {
     let sys = SsmpCacheSystem::new(5);
     let mut cache = ProcCache::new(CacheConfig::alewife());
     let mut rng = XorShift64::new(1);
-    c.bench_function("cache/access_classify", |b| {
-        b.iter(|| {
-            let line = rng.next_below(4096);
-            sys.access(&mut cache, 0, line, 0, line.is_multiple_of(3))
-        })
+    let m = time_for(WINDOW, |_| {
+        let line = rng.next_below(4096);
+        std::hint::black_box(sys.access(&mut cache, 0, line, 0, line.is_multiple_of(3)));
     });
+    report("cache/access_classify", &m);
 }
 
-fn bench_tlb(c: &mut Criterion) {
+fn bench_tlb() {
     let frames = FrameAllocator::new(PageGeometry::default());
     let tlb = Tlb::new();
     for p in 0..64 {
@@ -48,69 +56,56 @@ fn bench_tlb(c: &mut Criterion) {
         );
     }
     let mut rng = XorShift64::new(2);
-    c.bench_function("tlb/lookup_hit", |b| {
-        b.iter(|| tlb.lookup(rng.next_below(64), false))
+    let m = time_for(WINDOW, |_| {
+        std::hint::black_box(tlb.lookup(rng.next_below(64), false));
     });
+    report("tlb/lookup_hit", &m);
 }
 
-fn bench_occupancy(c: &mut Criterion) {
+fn bench_occupancy() {
     let occ = Occupancy::new();
-    c.bench_function("occupancy/occupy", |b| {
-        b.iter(|| occ.occupy(Cycles(0), Cycles(10)))
+    let m = time_for(WINDOW, |_| {
+        std::hint::black_box(occ.occupy(Cycles(0), Cycles(10)));
     });
+    report("occupancy/occupy", &m);
 }
 
-fn bench_lock(c: &mut Criterion) {
+fn bench_lock() {
     let lock = MgsLock::new(CostModel::alewife(), Cycles(1000), 4);
-    c.bench_function("lock/acquire_release_local", |b| {
-        b.iter(|| {
-            let (t, _) = lock.acquire(0, Cycles(0));
-            lock.release(t);
-        })
+    let m = time_for(WINDOW, |_| {
+        let (t, _) = lock.acquire(0, Cycles(0));
+        lock.release(t);
     });
+    report("lock/acquire_release_local", &m);
 }
 
-fn bench_protocol_fault(c: &mut Criterion) {
-    c.bench_function("protocol/read_miss_transaction", |b| {
-        b.iter_batched(
-            || MgsProtocol::new(ProtoConfig::new(2, 2)),
-            |proto| {
-                let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
-                proto.fault(2, 0, false, &mut t);
-                t.elapsed()
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_protocol_fault() {
+    let m = time_n(2_000, |_| {
+        let proto = MgsProtocol::new(ProtoConfig::new(2, 2));
+        let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+        proto.fault(2, 0, false, &mut t);
+        std::hint::black_box(t.elapsed());
     });
+    report("protocol/read_miss_transaction", &m);
 }
 
-fn bench_release(c: &mut Criterion) {
-    c.bench_function("protocol/single_writer_release", |b| {
-        b.iter_batched(
-            || {
-                let proto = MgsProtocol::new(ProtoConfig::new(2, 2));
-                let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
-                let e = proto.fault(2, 0, true, &mut t);
-                e.frame.store(0, 1);
-                proto
-            },
-            |proto| {
-                let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
-                proto.release_all(2, &mut t);
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_release() {
+    let m = time_n(2_000, |_| {
+        let proto = MgsProtocol::new(ProtoConfig::new(2, 2));
+        let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+        let e = proto.fault(2, 0, true, &mut t);
+        e.frame.store(0, 1);
+        proto.release_all(2, &mut t);
     });
+    report("protocol/single_writer_release", &m);
 }
 
-criterion_group!(
-    benches,
-    bench_diff,
-    bench_cache_access,
-    bench_tlb,
-    bench_occupancy,
-    bench_lock,
-    bench_protocol_fault,
-    bench_release
-);
-criterion_main!(benches);
+fn main() {
+    bench_diff();
+    bench_cache_access();
+    bench_tlb();
+    bench_occupancy();
+    bench_lock();
+    bench_protocol_fault();
+    bench_release();
+}

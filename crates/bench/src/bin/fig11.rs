@@ -1,18 +1,24 @@
 //! Regenerates **Figure 11**: the MGS token-lock hit ratio as a
 //! function of cluster size for the lock-using applications
-//! (TSP, Water, Barnes-Hut).
+//! (TSP, Water, Barnes-Hut). The three sweeps run concurrently under
+//! the `--jobs` worker budget.
 
 use mgs_bench::chart::series_chart;
 use mgs_bench::cli::Options;
+use mgs_bench::parallel::parallel_sweeps;
 use mgs_bench::suite::{base_config, by_name};
 
 fn main() {
     let opts = Options::parse();
     let base = base_config(&opts);
-    for name in ["tsp", "water", "barnes-hut"] {
-        let app = by_name(&opts, name).expect("known app");
-        eprintln!("sweeping {name}...");
-        let points = mgs_apps::sweep_app_averaged(&base, app.as_ref(), opts.reps);
+    let names = ["tsp", "water", "barnes-hut"];
+    let apps: Vec<Box<dyn mgs_apps::MgsApp>> = names
+        .iter()
+        .map(|n| by_name(&opts, n).expect("known app"))
+        .collect();
+    eprintln!("sweeping {names:?} in parallel...");
+    let sweeps = parallel_sweeps(&base, &apps, opts.reps, opts.jobs);
+    for (name, points) in names.iter().zip(sweeps) {
         let series: Vec<(usize, f64)> = points
             .iter()
             .map(|pt| (pt.cluster_size, pt.lock_hit_ratio))

@@ -1,20 +1,26 @@
 //! Regenerates **Figure 12**: the Water force-interaction kernel
 //! without (left) and with (right) the tiling loop transformation of
 //! §5.2.3, including the breakup-penalty collapse the paper reports
-//! (334% → 26%).
+//! (334% → 26%). Both kernel sweeps run concurrently under the
+//! `--jobs` worker budget.
 
-use mgs_apps::MgsApp as _;
+use mgs_apps::MgsApp;
 use mgs_bench::chart::breakdown_chart;
 use mgs_bench::cli::Options;
+use mgs_bench::parallel::parallel_sweeps;
 use mgs_bench::suite::{base_config, kernels};
 use mgs_core::framework;
 
 fn main() {
     let opts = Options::parse();
     let base = base_config(&opts);
-    for (kernel, _) in kernels(&opts) {
-        eprintln!("sweeping {}...", kernel.name());
-        let points = mgs_apps::sweep_app_averaged(&base, &kernel, opts.reps);
+    let apps: Vec<Box<dyn MgsApp>> = kernels(&opts)
+        .into_iter()
+        .map(|(k, _)| Box::new(k) as Box<dyn MgsApp>)
+        .collect();
+    eprintln!("sweeping both Water-kernel variants in parallel...");
+    let sweeps = parallel_sweeps(&base, &apps, opts.reps, opts.jobs);
+    for (kernel, points) in apps.iter().zip(sweeps) {
         println!("\n=== {} (P = {}) ===", kernel.name(), opts.p);
         let bars: Vec<_> = points
             .iter()

@@ -4,10 +4,12 @@
 //!
 //! Usage: `figures [app ...]` — any of jacobi, matmul, tsp, water,
 //! barnes-hut, water-kernel, water-kernel-tiled; default: the paper's
-//! five applications.
+//! five applications. All `(app × cluster size)` points run
+//! concurrently under the `--jobs` worker budget.
 
 use mgs_bench::chart::breakdown_chart;
 use mgs_bench::cli::Options;
+use mgs_bench::parallel::parallel_sweeps;
 use mgs_bench::suite::{base_config, by_name, suite};
 use mgs_core::framework;
 
@@ -22,9 +24,12 @@ fn main() {
             .map(|n| by_name(&opts, n).unwrap_or_else(|| panic!("unknown app: {n}")))
             .collect()
     };
-    for app in apps {
-        eprintln!("sweeping {} over cluster sizes...", app.name());
-        let points = mgs_apps::sweep_app_averaged(&base, app.as_ref(), opts.reps);
+    eprintln!(
+        "sweeping {} application(s) over cluster sizes in parallel...",
+        apps.len()
+    );
+    let sweeps = parallel_sweeps(&base, &apps, opts.reps, opts.jobs);
+    for (app, points) in apps.iter().zip(sweeps) {
         println!(
             "\n=== {} (P = {}, 1 KB pages, 1000-cycle LAN) ===",
             app.name(),

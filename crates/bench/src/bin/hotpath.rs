@@ -1,0 +1,166 @@
+//! `hotpath` — host-performance microbenchmarks of the fused
+//! per-access simulation path.
+//!
+//! Measures the simulator's hottest function at three levels and
+//! writes `BENCH_hotpath.json`:
+//!
+//! * `directory_uncontended` — one thread driving
+//!   [`SsmpCacheSystem::access`] (fused, one shard lock per access)
+//!   against [`SsmpCacheSystem::access_reference`] (the original
+//!   multi-call sequence, one lock per directory call);
+//! * `directory_contended_c4` — the same comparison with four
+//!   processor threads sharing one directory, where the fused path's
+//!   shorter lock hold times and single acquisition matter most;
+//! * `env_load_hot` — end-to-end [`Env::load`]s through translation
+//!   cache, cost accounting and the cache system (fused path only;
+//!   the Env-level fast paths have no preserved baseline).
+//!
+//! Run with `cargo run --release -p mgs-bench --bin hotpath`.
+
+use mgs_bench::json::JsonObject;
+use mgs_bench::stopwatch::{report, time_for, time_n, Measurement};
+use mgs_cache::{CacheConfig, ProcCache, SsmpCacheSystem};
+use mgs_core::{AccessKind, DssmpConfig, Machine};
+use mgs_sim::XorShift64;
+use std::time::Duration;
+
+/// Distinct lines touched by the directory benchmarks (fits the
+/// Alewife tag array's 64 K lines with room for conflict misses).
+const WORKING_SET: u64 = 8192;
+/// Simulated processors sharing the directory in the contended run.
+const CONTENDED_PROCS: usize = 4;
+/// Accesses per thread in the contended run.
+const CONTENDED_ITERS: u64 = 200_000;
+/// Loads per processor in the end-to-end run.
+const ENV_LOADS: u64 = 400_000;
+
+/// One access of a pseudo-random pattern: ~25% writes, homes spread
+/// over [`CONTENDED_PROCS`] nodes.
+fn drive(
+    sys: &SsmpCacheSystem,
+    cache: &mut ProcCache,
+    rng: &mut XorShift64,
+    proc: usize,
+    fused: bool,
+) {
+    let line = rng.next_below(WORKING_SET);
+    let home = rng.next_below(CONTENDED_PROCS as u64) as usize;
+    let is_write = rng.next_below(4) == 0;
+    let class = if fused {
+        sys.access(cache, proc, line, home, is_write)
+    } else {
+        sys.access_reference(cache, proc, line, home, is_write)
+    };
+    std::hint::black_box(class);
+}
+
+fn bench_uncontended(fused: bool) -> Measurement {
+    let sys = SsmpCacheSystem::new(5);
+    let mut cache = ProcCache::new(CacheConfig::alewife());
+    let mut rng = XorShift64::new(0x4D47_5348_07BA_7401);
+    time_for(Duration::from_millis(300), |_| {
+        drive(&sys, &mut cache, &mut rng, 0, fused);
+    })
+}
+
+fn bench_contended(fused: bool) -> Measurement {
+    let sys = SsmpCacheSystem::new(5);
+    let m = time_n(1, |_| {
+        std::thread::scope(|scope| {
+            for proc in 0..CONTENDED_PROCS {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let mut cache = ProcCache::new(CacheConfig::alewife());
+                    let mut rng = XorShift64::new(0x4D47_5348_07BA_7402 + proc as u64);
+                    for _ in 0..CONTENDED_ITERS {
+                        drive(sys, &mut cache, &mut rng, proc, fused);
+                    }
+                });
+            }
+        });
+    });
+    Measurement {
+        iters: CONTENDED_ITERS * CONTENDED_PROCS as u64,
+        elapsed: m.elapsed,
+    }
+}
+
+fn bench_env_loads() -> Measurement {
+    let mut cfg = DssmpConfig::new(1, 1);
+    cfg.governor_window = None;
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array::<u64>(4096, AccessKind::DistArray);
+    let m = time_n(1, |_| {
+        machine.run(|env| {
+            let mut acc = 0u64;
+            for i in 0..ENV_LOADS {
+                acc = acc.wrapping_add(arr.read(env, i % arr.len()));
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    Measurement {
+        iters: ENV_LOADS,
+        elapsed: m.elapsed,
+    }
+}
+
+/// Best (minimum ns/iter) of `n` runs — the contended measurement is
+/// one wall-clock sample, so take the least-disturbed one.
+fn best_of(n: usize, mut f: impl FnMut() -> Measurement) -> Measurement {
+    (0..n)
+        .map(|_| f())
+        .min_by(|a, b| a.ns_per_iter().total_cmp(&b.ns_per_iter()))
+        .expect("n >= 1")
+}
+
+/// Serializes one baseline-vs-fused comparison.
+fn comparison(name: &str, baseline: &Measurement, fused: &Measurement) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.str("name", name)
+        .num("baseline_ns_per_access", baseline.ns_per_iter())
+        .num("fused_ns_per_access", fused.ns_per_iter())
+        .num("speedup", baseline.ns_per_iter() / fused.ns_per_iter())
+        .num("fused_accesses_per_sec", fused.per_sec());
+    o
+}
+
+fn main() {
+    println!("hot-path microbenchmarks (fused vs. reference access)\n");
+
+    let base_unc = bench_uncontended(false);
+    let fused_unc = bench_uncontended(true);
+    report("directory_uncontended/reference", &base_unc);
+    report("directory_uncontended/fused", &fused_unc);
+
+    let base_con = best_of(5, || bench_contended(false));
+    let fused_con = best_of(5, || bench_contended(true));
+    report("directory_contended_c4/reference", &base_con);
+    report("directory_contended_c4/fused", &fused_con);
+
+    let env = bench_env_loads();
+    report("env_load_hot/fused", &env);
+
+    let mut root = JsonObject::new();
+    root.str("bench", "hotpath").array(
+        "benchmarks",
+        vec![
+            comparison("directory_uncontended", &base_unc, &fused_unc),
+            comparison("directory_contended_c4", &base_con, &fused_con),
+            {
+                let mut o = JsonObject::new();
+                o.str("name", "env_load_hot")
+                    .num("fused_ns_per_access", env.ns_per_iter())
+                    .num("fused_accesses_per_sec", env.per_sec());
+                o
+            },
+        ],
+    );
+    let path = "BENCH_hotpath.json";
+    std::fs::write(path, root.render(0) + "\n").expect("write BENCH_hotpath.json");
+    println!(
+        "\nwrote {path}: uncontended speedup {:.2}x, contended speedup {:.2}x",
+        base_unc.ns_per_iter() / fused_unc.ns_per_iter(),
+        base_con.ns_per_iter() / fused_con.ns_per_iter()
+    );
+}

@@ -7,10 +7,14 @@
 //! * **page size sweep** — the software sharing grain (coarser pages
 //!   amortize protocol overhead but aggravate false sharing);
 //! * **machine size sweep** — P at a fixed cluster size.
+//!
+//! All points in each study run concurrently under the `--jobs` worker
+//! budget, weighted by each configuration's processor count.
 
 use mgs_apps::{water::Water, MgsApp};
 use mgs_bench::chart::table;
 use mgs_bench::cli::Options;
+use mgs_bench::parallel::{host_parallelism, parallel_sweeps_of, run_weighted, WorkerBudget};
 use mgs_bench::suite::base_config;
 use mgs_core::{framework, Cycles, Machine, PageGeometry};
 
@@ -21,12 +25,21 @@ fn main() {
         ..Water::paper()
     };
 
-    // External latency sweep: framework metrics per latency.
+    // External latency sweep: framework metrics per latency. Each
+    // latency is a full cluster-size sweep, so run them as one batch.
+    let latencies = [0u64, 1_000, 4_000, 16_000];
+    eprintln!("water sweeps at ext latencies {latencies:?} in parallel...");
+    let bases: Vec<_> = latencies
+        .iter()
+        .map(|&ext| base_config(&opts).with_ext_latency(Cycles(ext)))
+        .collect();
+    let sweeps: Vec<(mgs_core::DssmpConfig, &dyn MgsApp)> = bases
+        .iter()
+        .map(|b| (b.clone(), &water as &dyn MgsApp))
+        .collect();
+    let results = parallel_sweeps_of(&sweeps, opts.reps, opts.jobs);
     let mut rows = Vec::new();
-    for ext in [0u64, 1_000, 4_000, 16_000] {
-        eprintln!("water sweep at ext latency {ext}...");
-        let base = base_config(&opts).with_ext_latency(Cycles(ext));
-        let points = mgs_apps::sweep_app_averaged(&base, &water, opts.reps);
+    for (ext, points) in latencies.iter().zip(results) {
         let m = framework::metrics(&points);
         rows.push(vec![
             format!("{ext} cyc"),
@@ -44,36 +57,59 @@ fn main() {
         table(&["latency", "breakup", "potential", "curv"], &rows)
     );
 
-    // Page size sweep at C = P/4.
+    // Page size sweep at C = P/4, and machine size sweep at C = 4;
+    // single runs each, all batched under one budget.
     let c = (opts.p / 4).max(1);
-    let mut rows = Vec::new();
-    for page in [512u64, 1024, 2048, 4096] {
-        eprintln!("water at {page}-byte pages...");
+    let pages = [512u64, 1024, 2048, 4096];
+    let machines = [8usize, 16, 32];
+    let mut configs = Vec::new();
+    for &page in &pages {
         let mut cfg = base_config(&opts);
         cfg.cluster_size = c;
         cfg.geometry = PageGeometry::new(page);
-        let r = water.execute(&Machine::new(cfg));
-        rows.push(vec![
-            format!("{page} B"),
-            format!("{:.2}", r.duration.as_mcycles()),
-        ]);
+        configs.push(cfg);
     }
-    println!("\nWater at C = {c} vs. page size:");
-    println!("{}", table(&["page", "Mcyc"], &rows));
-
-    // Machine size sweep at C = 4.
-    let mut rows = Vec::new();
-    for p in [8usize, 16, 32] {
-        eprintln!("water at P = {p}...");
+    for &p in &machines {
         let mut cfg = base_config(&opts);
         cfg.n_procs = p;
         cfg.cluster_size = 4.min(p);
-        let r = water.execute(&Machine::new(cfg));
-        rows.push(vec![
-            format!("P = {p}"),
-            format!("{:.2}", r.duration.as_mcycles()),
-        ]);
+        configs.push(cfg);
     }
+    eprintln!("page-size and machine-size points in parallel...");
+    let max_weight = configs.iter().map(|c| c.n_procs).max().unwrap_or(1);
+    let budget = WorkerBudget::new(opts.jobs.unwrap_or_else(host_parallelism).max(max_weight));
+    let jobs: Vec<(usize, _)> = configs
+        .into_iter()
+        .map(|cfg| {
+            let water = &water;
+            (cfg.n_procs, move || {
+                water.execute(&Machine::new(cfg)).duration.as_mcycles()
+            })
+        })
+        .collect();
+    let mut mcycles = run_weighted(&budget, jobs).into_iter();
+
+    let rows: Vec<_> = pages
+        .iter()
+        .map(|page| {
+            vec![
+                format!("{page} B"),
+                format!("{:.2}", mcycles.next().expect("page point")),
+            ]
+        })
+        .collect();
+    println!("\nWater at C = {c} vs. page size:");
+    println!("{}", table(&["page", "Mcyc"], &rows));
+
+    let rows: Vec<_> = machines
+        .iter()
+        .map(|p| {
+            vec![
+                format!("P = {p}"),
+                format!("{:.2}", mcycles.next().expect("machine point")),
+            ]
+        })
+        .collect();
     println!("\nWater at C = 4 vs. machine size:");
     println!("{}", table(&["machine", "Mcyc"], &rows));
 }

@@ -10,6 +10,10 @@ pub struct Options {
     pub scale: usize,
     /// Repetitions per configuration (averaged) for sweep binaries.
     pub reps: usize,
+    /// Host worker-thread budget for parallel sweeps (`--jobs`);
+    /// `None` = the host's available parallelism. Each sweep point
+    /// costs its machine's `P` threads against this budget.
+    pub jobs: Option<usize>,
     /// Positional arguments (e.g. an application name).
     pub args: Vec<String>,
 }
@@ -30,6 +34,7 @@ impl Options {
             p: 32,
             scale: 1,
             reps: 1,
+            jobs: None,
             args: Vec::new(),
         };
         let mut it = iter.into_iter();
@@ -54,12 +59,20 @@ impl Options {
                         .and_then(|v| v.parse().ok())
                         .expect("--reps needs an integer");
                 }
+                "--jobs" => {
+                    opts.jobs = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--jobs needs an integer"),
+                    );
+                }
                 other => opts.args.push(other.to_string()),
             }
         }
         assert!(opts.p.is_power_of_two(), "--p must be a power of two");
         assert!(opts.scale >= 1, "--scale must be >= 1");
         assert!(opts.reps >= 1, "--reps must be >= 1");
+        assert!(opts.jobs != Some(0), "--jobs must be >= 1");
         opts
     }
 

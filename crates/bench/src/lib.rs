@@ -20,4 +20,6 @@
 pub mod chart;
 pub mod cli;
 pub mod json;
+pub mod parallel;
+pub mod stopwatch;
 pub mod suite;

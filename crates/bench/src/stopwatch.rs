@@ -1,0 +1,106 @@
+//! Wall-clock measurement helpers for the host-performance benchmarks
+//! (criterion is unavailable offline; these cover what the harness
+//! needs: calibrated timed loops and accesses/sec reporting).
+
+use std::time::{Duration, Instant};
+
+/// Result of one timed measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Iterations executed during the measured window.
+    pub iters: u64,
+    /// Wall-clock time of the measured window.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.iters as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs `op` repeatedly for roughly `target` (after a 10% warm-up) and
+/// returns the measurement. The operation receives the iteration index.
+pub fn time_for(target: Duration, mut op: impl FnMut(u64)) -> Measurement {
+    // Warm-up: run a fraction of the budget untimed.
+    let warm_until = Instant::now() + target / 10;
+    let mut i = 0u64;
+    while Instant::now() < warm_until {
+        op(i);
+        i += 1;
+    }
+    let start = Instant::now();
+    let deadline = start + target;
+    let mut iters = 0u64;
+    // Check the clock every batch, not every iteration, so the timer
+    // itself stays off the measured path.
+    let batch = 64;
+    loop {
+        for _ in 0..batch {
+            op(i);
+            i += 1;
+        }
+        iters += batch;
+        let now = Instant::now();
+        if now >= deadline {
+            return Measurement {
+                iters,
+                elapsed: now - start,
+            };
+        }
+    }
+}
+
+/// Times `op` exactly `iters` times (no warm-up; for coarse-grained
+/// operations like whole-application runs).
+pub fn time_n(iters: u64, mut op: impl FnMut(u64)) -> Measurement {
+    let start = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    Measurement {
+        iters,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Prints one benchmark line in a stable, greppable format.
+pub fn report(name: &str, m: &Measurement) {
+    println!(
+        "{name:<40} {:>12.1} ns/iter {:>14.0} iters/sec",
+        m.ns_per_iter(),
+        m.per_sec()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_n_counts_iterations() {
+        let mut n = 0u64;
+        let m = time_n(10, |_| n += 1);
+        assert_eq!(m.iters, 10);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn time_for_runs_some_iterations() {
+        let m = time_for(Duration::from_millis(5), |_| {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m.iters > 0);
+        assert!(m.per_sec() > 0.0);
+    }
+}

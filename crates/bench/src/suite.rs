@@ -143,6 +143,7 @@ mod tests {
             p: 8,
             scale,
             reps: 1,
+            jobs: None,
             args: vec![],
         }
     }

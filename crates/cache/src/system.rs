@@ -59,8 +59,15 @@ impl MissClass {
         }
     }
 
-    fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("in ALL")
+    const fn index(self) -> usize {
+        match self {
+            MissClass::Hit => 0,
+            MissClass::LocalMiss => 1,
+            MissClass::RemoteClean => 2,
+            MissClass::TwoParty => 3,
+            MissClass::ThreeParty => 4,
+            MissClass::SwDirectory => 5,
+        }
     }
 }
 
@@ -157,6 +164,15 @@ impl SsmpCacheSystem {
     /// backing memory is homed at local processor `home`. Updates the
     /// directory and the processor's tag array, and returns the latency
     /// class.
+    ///
+    /// This is the simulator's hottest function. The tag array is
+    /// probed (and, on a tag miss, filled) first — it is private to the
+    /// calling thread — and the entire directory transaction
+    /// (classification, state change, victim removal) then runs under a
+    /// single shard-lock acquisition in [`Directory::transact`]. Debug
+    /// builds assert the one-lock property whenever the cache geometry
+    /// guarantees victim co-location (set count a multiple of
+    /// [`Directory::SHARDS`]).
     pub fn access(
         &self,
         cache: &mut ProcCache,
@@ -165,12 +181,53 @@ impl SsmpCacheSystem {
         home: usize,
         is_write: bool,
     ) -> MissClass {
-        let class = self.access_inner(cache, proc, line, home, is_write);
+        #[cfg(debug_assertions)]
+        let locks_before = Directory::thread_shard_locks();
+        let tag_hit = cache.contains(line);
+        // On a tag miss every outcome installs the line, so the fill
+        // (and its LRU eviction decision) can run before the directory
+        // transaction; on a tag hit `contains` already refreshed LRU.
+        let evicted = if tag_hit { None } else { cache.insert(line) };
+        let class = self.directory.transact(
+            line,
+            proc,
+            home,
+            is_write,
+            self.hw_pointers,
+            tag_hit,
+            evicted,
+        );
+        #[cfg(debug_assertions)]
+        if cache.config().sets().is_multiple_of(Directory::SHARDS) {
+            debug_assert_eq!(
+                Directory::thread_shard_locks() - locks_before,
+                1,
+                "fused access must take exactly one directory shard lock"
+            );
+        }
         self.stats.record(class);
         class
     }
 
-    fn access_inner(
+    /// Reference implementation of [`access`](Self::access): the
+    /// original unfused sequence of directory calls, each taking its
+    /// own shard lock. Kept as the behavioural oracle for the fused
+    /// path (see `tests/transact_oracle.rs`) and as the measured
+    /// baseline of the `hotpath` benchmark.
+    pub fn access_reference(
+        &self,
+        cache: &mut ProcCache,
+        proc: usize,
+        line: u64,
+        home: usize,
+        is_write: bool,
+    ) -> MissClass {
+        let class = self.access_reference_inner(cache, proc, line, home, is_write);
+        self.stats.record(class);
+        class
+    }
+
+    fn access_reference_inner(
         &self,
         cache: &mut ProcCache,
         proc: usize,

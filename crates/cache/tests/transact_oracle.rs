@@ -1,0 +1,133 @@
+//! Equivalence oracle for the fused directory transaction: on random
+//! access traces, [`SsmpCacheSystem::access`] (one shard-lock
+//! acquisition per access) must produce exactly the same [`MissClass`]
+//! sequence, directory state, tag-array contents, and statistics as
+//! [`SsmpCacheSystem::access_reference`] (the original multi-call
+//! path).
+
+use mgs_cache::{CacheConfig, MissClass, ProcCache, SsmpCacheSystem};
+use mgs_sim::XorShift64;
+
+const PROCS: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    proc: usize,
+    line: u64,
+    home: usize,
+    write: bool,
+}
+
+fn random_trace(rng: &mut XorShift64, len: usize, lines: u64) -> Vec<Access> {
+    (0..len)
+        .map(|_| Access {
+            proc: rng.next_below(PROCS as u64) as usize,
+            line: rng.next_below(lines),
+            home: rng.next_below(PROCS as u64) as usize,
+            // Bias toward reads so sharer sets actually grow.
+            write: rng.next_below(4) == 0,
+        })
+        .collect()
+}
+
+fn assert_equivalent(seed: u64, cfg: CacheConfig, trace: &[Access], lines: u64) {
+    let fused = SsmpCacheSystem::new(5);
+    let reference = SsmpCacheSystem::new(5);
+    let mut fused_caches: Vec<ProcCache> = (0..PROCS).map(|_| ProcCache::new(cfg)).collect();
+    let mut ref_caches: Vec<ProcCache> = (0..PROCS).map(|_| ProcCache::new(cfg)).collect();
+    for (i, a) in trace.iter().enumerate() {
+        let f = fused.access(&mut fused_caches[a.proc], a.proc, a.line, a.home, a.write);
+        let r =
+            reference.access_reference(&mut ref_caches[a.proc], a.proc, a.line, a.home, a.write);
+        assert_eq!(f, r, "class diverged at step {i} on {a:?} (seed {seed:#x})");
+    }
+    // Directory state must match line for line.
+    assert_eq!(
+        fused.directory().tracked_lines(),
+        reference.directory().tracked_lines(),
+        "tracked lines diverged (seed {seed:#x})"
+    );
+    for line in 0..lines {
+        assert_eq!(
+            fused.directory().probe(line),
+            reference.directory().probe(line),
+            "directory entry for line {line} diverged (seed {seed:#x})"
+        );
+        for p in 0..PROCS {
+            assert_eq!(
+                fused.directory().is_sharer(line, p),
+                reference.directory().is_sharer(line, p),
+                "sharer bit ({line}, {p}) diverged (seed {seed:#x})"
+            );
+        }
+    }
+    // Tag arrays: same residency per line (the fused path fills the
+    // tag array eagerly, which must not change *what* is resident).
+    for (p, (fc, rc)) in fused_caches.iter_mut().zip(&mut ref_caches).enumerate() {
+        assert_eq!(
+            fc.resident(),
+            rc.resident(),
+            "proc {p} resident count diverged (seed {seed:#x})"
+        );
+        for line in 0..lines {
+            assert_eq!(
+                fc.contains(line),
+                rc.contains(line),
+                "proc {p} residency of line {line} diverged (seed {seed:#x})"
+            );
+            // Keep the two LRU streams aligned: contains() ticks both.
+        }
+    }
+    // Per-class statistics must agree.
+    for class in MissClass::ALL {
+        assert_eq!(
+            fused.stats().count(class),
+            reference.stats().count(class),
+            "{class} count diverged (seed {seed:#x})"
+        );
+    }
+}
+
+/// Tiny caches (8 sets × 2 ways) force constant evictions: the victim
+/// co-location and single-lock removal path is exercised on nearly
+/// every access.
+#[test]
+fn fused_matches_reference_with_heavy_eviction() {
+    for case in 0..48u64 {
+        let seed = 0x5AC1_E000 | case;
+        let mut rng = XorShift64::new(seed);
+        let trace = random_trace(&mut rng, 400, 64);
+        assert_equivalent(seed, CacheConfig::tiny(), &trace, 64);
+    }
+}
+
+/// Alewife-sized caches (2048 sets): mostly conflict-free, exercising
+/// the hit/upgrade/miss classification paths.
+#[test]
+fn fused_matches_reference_at_alewife_geometry() {
+    for case in 0..16u64 {
+        let seed = 0x0A1E_F000 | case;
+        let mut rng = XorShift64::new(seed);
+        let trace = random_trace(&mut rng, 600, 4096);
+        assert_equivalent(seed, CacheConfig::alewife(), &trace, 4096);
+    }
+}
+
+/// Write-heavy traces exercise upgrades, take-exclusive invalidations
+/// and dirty-line downgrades.
+#[test]
+fn fused_matches_reference_under_write_storms() {
+    for case in 0..32u64 {
+        let seed = 0x0BAD_C0DE | case;
+        let mut rng = XorShift64::new(seed);
+        let trace: Vec<Access> = (0..300)
+            .map(|_| Access {
+                proc: rng.next_below(PROCS as u64) as usize,
+                line: rng.next_below(32),
+                home: rng.next_below(PROCS as u64) as usize,
+                write: rng.next_below(2) == 0,
+            })
+            .collect();
+        assert_equivalent(seed, CacheConfig::tiny(), &trace, 32);
+    }
+}

@@ -4,15 +4,21 @@ use crate::report::ProcResult;
 use crate::runtime::RuntimeTiming;
 use crate::Machine;
 use mgs_cache::{CacheConfig, ProcCache};
-use mgs_sim::{CostCategory, CycleAccount, Cycles, ProcClock, XorShift64};
+use mgs_proto::MgsProtocol;
+use mgs_sim::{CostCategory, CostModel, CycleAccount, Cycles, ProcClock, XorShift64};
 use mgs_sync::{HwLock, MgsLock};
-use mgs_vm::{AccessKind, TlbEntry, VRange};
+use mgs_vm::{AccessKind, PageGeometry, TlbEntry, VRange};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// A fixed-point multiplier used to derive distinct RNG streams per
 /// processor.
 const RNG_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Slots in the Env-local translation cache (direct-mapped by page
+/// number). 64 entries cover the working set of every application's
+/// inner loop while costing ~2 KB per processor thread.
+const XLATE_SLOTS: usize = 64;
 
 /// Types that can live in simulated shared memory (one 8-byte word per
 /// element).
@@ -151,6 +157,27 @@ pub struct Env {
     start: (Cycles, CycleAccount),
     next_tick: Cycles,
     tick_stride: Cycles,
+    // --- Hot-path state, hoisted out of the Arc<Machine> so the
+    // per-access path dereferences no config and clones no Arc. ---
+    /// The protocol handle (one Arc clone at construction).
+    proto: Arc<MgsProtocol>,
+    /// Page geometry (copied out of the config).
+    geometry: PageGeometry,
+    /// Processors per SSMP.
+    cluster_size: usize,
+    /// The cost table (cloned out of the config).
+    cost: CostModel,
+    /// Env-local translation cache: a direct-mapped array of recent
+    /// `(page, TlbEntry)` pairs private to this processor thread. A hit
+    /// skips the shared TLB's mutex and map lookup entirely; validity
+    /// is still guaranteed by the frame-generation check of the
+    /// translation critical section (§4.2.1) — every path that revokes
+    /// a mapping bumps the frame generation under the exclusive guard,
+    /// so a stale cached entry simply fails the check and re-faults.
+    /// Purely a host-side optimization: simulated cycle charges are
+    /// identical, though the shared TLB's host-side hit counters no
+    /// longer see the cached lookups.
+    xlate_cache: Vec<Option<(u64, TlbEntry)>>,
 }
 
 impl Env {
@@ -163,6 +190,10 @@ impl Env {
             .governor_window
             .map(|w| Cycles((w.raw() / 4).max(1)))
             .unwrap_or(Cycles::MAX);
+        let proto = Arc::clone(machine.protocol());
+        let geometry = cfg.geometry;
+        let cluster_size = cfg.cluster_size;
+        let cost = cfg.cost.clone();
         Env {
             machine,
             proc,
@@ -174,6 +205,11 @@ impl Env {
             start: (Cycles::ZERO, CycleAccount::new()),
             next_tick: Cycles::ZERO,
             tick_stride,
+            proto,
+            geometry,
+            cluster_size,
+            cost,
+            xlate_cache: (0..XLATE_SLOTS).map(|_| None).collect(),
         }
     }
 
@@ -194,7 +230,7 @@ impl Env {
 
     /// Processors per SSMP (`C`).
     pub fn cluster_size(&self) -> usize {
-        self.machine.config().cluster_size
+        self.cluster_size
     }
 
     /// Number of SSMPs (`P / C`).
@@ -251,19 +287,22 @@ impl Env {
 
     fn access(&mut self, va: u64, kind: AccessKind, write: bool, value: u64) -> u64 {
         self.maybe_tick();
-        let geometry = self.machine.config().geometry;
-        let cluster_size = self.machine.config().cluster_size;
         // In-lined software translation (§4.2.1): user time.
         let xlate = match kind {
-            AccessKind::DistArray => self.machine.config().cost.xlate_array,
-            AccessKind::Pointer => self.machine.config().cost.xlate_pointer,
+            AccessKind::DistArray => self.cost.xlate_array,
+            AccessKind::Pointer => self.cost.xlate_pointer,
         };
         self.clock.charge(CostCategory::User, xlate);
 
-        let page = geometry.page_of(va);
-        let mut entry = match self.machine.protocol().tlb(self.proc).lookup(page, write) {
-            Some(e) => e,
-            None => self.fault(page, write),
+        let page = self.geometry.page_of(va);
+        // Env-local translation fast path: a direct-mapped slot holding
+        // a recently-used entry for this page. Staleness is caught by
+        // the generation check below, so the only requirements here are
+        // page match and sufficient privilege.
+        let slot = (page as usize) & (XLATE_SLOTS - 1);
+        let mut entry = match &self.xlate_cache[slot] {
+            Some((p, e)) if *p == page && (e.writable || !write) => e.clone(),
+            _ => self.translate_slow(page, write),
         };
         // Perform the access under the frame's guard, re-validating the
         // mapping generation: a mapping cloned just before a shootdown
@@ -271,7 +310,7 @@ impl Env {
         // translation critical section of §4.2.1). An invalidation
         // bumps the generation under the exclusive guard, so a store
         // that lands here is always covered by the subsequent diff.
-        let word = geometry.word_offset(va);
+        let word = self.geometry.word_offset(va);
         loop {
             let frame = entry.frame.clone();
             let guard = frame.begin_access();
@@ -280,10 +319,9 @@ impl Env {
                 // stall (hardware shared-memory time counts as user
                 // time, §5.2.1).
                 let line = frame.line_of_word(word);
-                let home_local = frame.home_node() % cluster_size;
-                let my_local = self.proc % cluster_size;
-                let machine = Arc::clone(&self.machine);
-                let class = machine.protocol().cache_system(self.ssmp).access(
+                let home_local = frame.home_node() % self.cluster_size;
+                let my_local = self.proc % self.cluster_size;
+                let class = self.proto.cache_system(self.ssmp).access(
                     &mut self.pcache,
                     my_local,
                     line,
@@ -291,7 +329,7 @@ impl Env {
                     write,
                 );
                 self.clock
-                    .charge(CostCategory::User, class.cost(&machine.config().cost));
+                    .charge(CostCategory::User, class.cost(&self.cost));
                 let result = if write {
                     frame.store(word, value);
                     value
@@ -302,8 +340,20 @@ impl Env {
                 return result;
             }
             drop(guard);
-            entry = self.fault(page, write);
+            entry = self.translate_slow(page, write);
         }
+    }
+
+    /// Translation slow path: consult the shared TLB (mutex-protected)
+    /// and fault if it has no sufficient mapping; refresh this page's
+    /// slot in the Env-local cache either way.
+    fn translate_slow(&mut self, page: u64, write: bool) -> TlbEntry {
+        let entry = match self.proto.tlb(self.proc).lookup(page, write) {
+            Some(e) => e,
+            None => self.fault(page, write),
+        };
+        self.xlate_cache[(page as usize) & (XLATE_SLOTS - 1)] = Some((page, entry.clone()));
+        entry
     }
 
     fn fault(&mut self, page: u64, write: bool) -> TlbEntry {
@@ -311,18 +361,15 @@ impl Env {
             // Tightly-coupled baseline (§5.2.1): MGS calls are null; the
             // remaining cost is the software-VM page-table fill, which
             // the paper folds into user time.
-            let cost = &self.machine.config().cost;
-            self.clock.charge(CostCategory::User, cost.tlb_fill_cost());
-            let frame = self.machine.protocol().home_frame(page);
+            self.clock
+                .charge(CostCategory::User, self.cost.tlb_fill_cost());
+            let frame = self.proto.home_frame(page);
             let entry = TlbEntry {
                 gen: frame.generation(),
                 frame,
                 writable: true,
             };
-            self.machine
-                .protocol()
-                .tlb(self.proc)
-                .insert(page, entry.clone());
+            self.proto.tlb(self.proc).insert(page, entry.clone());
             return entry;
         }
         let mut timing = RuntimeTiming {
@@ -330,9 +377,7 @@ impl Env {
             machine: &self.machine,
             proc: self.proc,
         };
-        self.machine
-            .protocol()
-            .fault(self.proc, page, write, &mut timing)
+        self.proto.fault(self.proc, page, write, &mut timing)
     }
 
     // ------------------------------------------------------------------
@@ -356,10 +401,8 @@ impl Env {
     /// critical-section dilation.
     pub fn release(&mut self, lock: &MgsLock) {
         self.flush();
-        self.clock.charge(
-            CostCategory::Lock,
-            self.machine.config().cost.lock_local_release,
-        );
+        self.clock
+            .charge(CostCategory::Lock, self.cost.lock_local_release);
         lock.release(self.clock.now());
     }
 
@@ -376,10 +419,8 @@ impl Env {
     /// Releases an intra-SSMP hardware lock (not a release point: the
     /// delayed update queue is untouched).
     pub fn release_hw(&mut self, lock: &HwLock) {
-        self.clock.charge(
-            CostCategory::Lock,
-            self.machine.config().cost.lock_local_release,
-        );
+        self.clock
+            .charge(CostCategory::Lock, self.cost.lock_local_release);
         lock.release(self.clock.now());
     }
 
@@ -421,7 +462,7 @@ impl Env {
             machine: &self.machine,
             proc: self.proc,
         };
-        self.machine.protocol().acquire_sync(self.proc, &mut timing);
+        self.proto.acquire_sync(self.proc, &mut timing);
     }
 
     /// Flushes this processor's delayed update queue (a release
@@ -436,7 +477,7 @@ impl Env {
             machine: &self.machine,
             proc: self.proc,
         };
-        self.machine.protocol().release_all(self.proc, &mut timing);
+        self.proto.release_all(self.proc, &mut timing);
     }
 
     // ------------------------------------------------------------------

@@ -265,12 +265,12 @@ impl Machine {
     {
         let n = self.cfg.n_procs;
         let mut results: Vec<Option<crate::report::ProcResult>> = (0..n).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for proc in 0..n {
                 let machine = Arc::clone(self);
                 let body = &body;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut env = Env::new(machine, proc);
                     body(&mut env);
                     env.finish()
@@ -279,8 +279,7 @@ impl Machine {
             for (proc, h) in handles.into_iter().enumerate() {
                 results[proc] = Some(h.join().expect("processor thread panicked"));
             }
-        })
-        .expect("simulation scope panicked");
+        });
         RunReport::from_procs(
             results.into_iter().map(|r| r.expect("joined")).collect(),
             self.lock_totals(),

@@ -1,9 +1,11 @@
-//! Property-based tests: random interleavings of protocol operations
+//! Randomized tests: random interleavings of protocol operations
 //! preserve the coherence invariants.
+//!
+//! Cases come from a seeded [`XorShift64`] stream (proptest is
+//! unavailable offline); every failure message names the case seed.
 
 use mgs_proto::{ClientState, MgsProtocol, ProtoConfig, ProtoTiming, RecordingTiming};
-use mgs_sim::{CostModel, Cycles};
-use proptest::prelude::*;
+use mgs_sim::{CostModel, Cycles, XorShift64};
 
 const N_SSMPS: usize = 4;
 const C: usize = 2;
@@ -29,23 +31,28 @@ enum Op {
     },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..N_PROCS, 0..N_PAGES, 0..128u64).prop_map(|(proc, page, word)| Op::Read {
-            proc,
-            page,
-            word
-        }),
-        (0..N_PROCS, 0..N_PAGES, 0..128u64, 1..1000u64).prop_map(|(proc, page, word, val)| {
-            Op::Write {
-                proc,
-                page,
-                word,
-                val,
-            }
-        }),
-        (0..N_PROCS).prop_map(|proc| Op::Release { proc }),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    match rng.next_below(3) {
+        0 => Op::Read {
+            proc: rng.next_below(N_PROCS as u64) as usize,
+            page: rng.next_below(N_PAGES),
+            word: rng.next_below(128),
+        },
+        1 => Op::Write {
+            proc: rng.next_below(N_PROCS as u64) as usize,
+            page: rng.next_below(N_PAGES),
+            word: rng.next_below(128),
+            val: 1 + rng.next_below(999),
+        },
+        _ => Op::Release {
+            proc: rng.next_below(N_PROCS as u64) as usize,
+        },
+    }
+}
+
+fn random_ops(rng: &mut XorShift64, max_len: u64) -> Vec<Op> {
+    let n = 1 + rng.next_below(max_len - 1) as usize;
+    (0..n).map(|_| random_op(rng)).collect()
 }
 
 fn timing() -> RecordingTiming {
@@ -122,33 +129,43 @@ fn check_invariants(p: &MgsProtocol) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn invariants_hold_under_random_workloads(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        run_checked(&ops, true);
+#[test]
+fn invariants_hold_under_random_workloads() {
+    for case in 0..64u64 {
+        let seed = 0x4D47_5000_0000_0000 | case;
+        let mut rng = XorShift64::new(seed);
+        run_checked(&random_ops(&mut rng, 60), true);
     }
+}
 
-    #[test]
-    fn invariants_hold_without_single_writer_opt(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        run_checked(&ops, false);
+#[test]
+fn invariants_hold_without_single_writer_opt() {
+    for case in 0..64u64 {
+        let seed = 0x4D47_5100_0000_0000 | case;
+        let mut rng = XorShift64::new(seed);
+        run_checked(&random_ops(&mut rng, 60), false);
     }
+}
 
-    /// Data-race-free writes propagate: if each word of each page is
-    /// written by at most one processor and every writer releases, the
-    /// home copies end up with exactly the written values.
-    #[test]
-    fn released_writes_reach_home(
-        writes in prop::collection::vec(
-            (0..N_PROCS, 0..N_PAGES, 0..128u64, 1..1_000_000u64), 1..40)
-    ) {
+/// Data-race-free writes propagate: if each word of each page is
+/// written by at most one processor and every writer releases, the
+/// home copies end up with exactly the written values.
+#[test]
+fn released_writes_reach_home() {
+    for case in 0..64u64 {
+        let seed = 0x4D47_5200_0000_0000 | case;
+        let mut rng = XorShift64::new(seed);
+        let n = 1 + rng.next_below(39) as usize;
         let p = MgsProtocol::new(ProtoConfig::new(N_SSMPS, C));
         let mut t = timing();
         // Deduplicate (page, word) so each word has one writer: DRF.
         let mut seen = std::collections::HashSet::new();
         let mut expected = Vec::new();
-        for (proc, page, word, val) in writes {
+        for _ in 0..n {
+            let proc = rng.next_below(N_PROCS as u64) as usize;
+            let page = rng.next_below(N_PAGES);
+            let word = rng.next_below(128);
+            let val = 1 + rng.next_below(999_999);
             if seen.insert((page, word)) {
                 expected.push((proc, page, word, val));
             }
@@ -164,14 +181,19 @@ proptest! {
             p.release_all(proc, &mut t);
         }
         for &(_, page, word, val) in &expected {
-            prop_assert_eq!(p.home_frame(page).load(word), val);
+            assert_eq!(p.home_frame(page).load(word), val, "seed {seed:#x}");
         }
     }
+}
 
-    /// Timing is non-negative and monotone: every operation advances the
-    /// recording clock.
-    #[test]
-    fn recorded_time_is_monotone(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// Timing is non-negative and monotone: every operation advances the
+/// recording clock.
+#[test]
+fn recorded_time_is_monotone() {
+    for case in 0..64u64 {
+        let seed = 0x4D47_5300_0000_0000 | case;
+        let mut rng = XorShift64::new(seed);
+        let ops = random_ops(&mut rng, 40);
         let p = MgsProtocol::new(ProtoConfig::new(N_SSMPS, C));
         let mut t = timing();
         let mut last = Cycles::ZERO;
@@ -182,7 +204,12 @@ proptest! {
                         p.fault(proc, page, false, &mut t);
                     }
                 }
-                Op::Write { proc, page, word, val } => {
+                Op::Write {
+                    proc,
+                    page,
+                    word,
+                    val,
+                } => {
                     let e = match p.tlb(proc).lookup(page, true) {
                         Some(e) => e,
                         None => p.fault(proc, page, true, &mut t),
@@ -191,7 +218,7 @@ proptest! {
                 }
                 Op::Release { proc } => p.release_all(proc, &mut t),
             }
-            prop_assert!(t.now() >= last);
+            assert!(t.now() >= last, "seed {seed:#x}");
             last = t.now();
         }
     }
