@@ -1,0 +1,330 @@
+//! `chaos` — the application suite on an unreliable LAN.
+//!
+//! Two sections, both written to `BENCH_chaos.json`:
+//!
+//! * **equivalence** — a deterministic token-ring workload (one active
+//!   remote writer per barrier phase, time governor off, exactly like
+//!   `tests/determinism.rs`) run under three fabrics and *asserted*
+//!   cycle-exact:
+//!   - a drop-rate-0 [`FaultPlan`] must be bit-identical to
+//!     [`FaultPlan::none`] — the inactive plan is discarded and the
+//!     pre-fault delivery path runs;
+//!   - a duplicate-storm plan (every inter-SSMP message delivered
+//!     twice, nothing dropped) must *also* be cycle-identical: the
+//!     protocol's sequence filters discard redundant copies without
+//!     charging a single simulated cycle, so at-most-once handling is
+//!     timing-invisible.
+//! * **sweep** — drop rate × cluster size over the six applications
+//!   (the five-app suite plus the Water kernel). Every run's numerical
+//!   result is verified by the application itself against a plain-Rust
+//!   reference — the memory image after recovery must equal the
+//!   fault-free answer — and each point records the injected drops,
+//!   duplicates and protocol retransmissions alongside the runtime.
+//!
+//! Run with `cargo run --release -p mgs-bench --bin chaos -- --quick`.
+//! Accepts the usual `--p`, `--scale`, `--reps` and `--jobs` flags.
+
+use mgs_apps::MgsApp;
+use mgs_bench::cli::Options;
+use mgs_bench::json::JsonObject;
+use mgs_bench::parallel::{run_weighted, WorkerBudget};
+use mgs_bench::suite;
+use mgs_core::{AccessKind, CostCategory, DssmpConfig, FaultPlan, Machine, RunReport};
+use mgs_sim::Cycles;
+
+/// Seed of every fault schedule in this harness ("CHAOS").
+const SEED: u64 = 0x4D47_5343_4841_4F53;
+/// Drop probabilities swept per (application, cluster size). The 0 point
+/// doubles as the fault-free baseline for the slowdown column.
+const DROP_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
+/// Delivery jitter bound used whenever faults are active.
+const JITTER: Cycles = Cycles(200);
+
+/// Processors in the deterministic equivalence ring.
+const RING_PROCS: usize = 8;
+/// Words per processor block (4 one-KB pages each).
+const RING_WORDS: u64 = 512;
+
+/// The deterministic ring: in phase `k` only processor `k` touches
+/// shared state — it writes its successor's self-homed block and reads
+/// it back — then everyone barriers. With a single active processor per
+/// phase, every cross-SSMP transaction is serialized, so no occupancy
+/// resource is ever contended and the cycle accounting is a pure
+/// function of the configuration (the envelope `tests/determinism.rs`
+/// establishes).
+fn run_ring(cluster_size: usize, plan: FaultPlan) -> RunReport {
+    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size).with_faults(plan);
+    cfg.governor_window = None;
+    let machine = Machine::new(cfg);
+    let arr =
+        machine.alloc_array_blocked::<u64>(RING_WORDS * RING_PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..RING_PROCS {
+            if pid == phase {
+                let base = ((pid + 1) % RING_PROCS) as u64 * RING_WORDS;
+                for i in 0..RING_WORDS {
+                    arr.write(env, base + i, ((phase as u64) << 32) | i);
+                }
+                let mut acc = 0u64;
+                for i in 0..RING_WORDS {
+                    acc = acc.wrapping_add(arr.read(env, base + i));
+                }
+                std::hint::black_box(acc);
+            }
+            env.barrier();
+        }
+    })
+}
+
+/// Panics unless the two reports carry bit-identical cycle accounting
+/// and LAN traffic (same criteria as `tests/determinism.rs`).
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.duration.raw(), b.duration.raw(), "{what}: duration");
+    for cat in CostCategory::ALL {
+        assert_eq!(
+            a.breakdown.get(cat).raw(),
+            b.breakdown.get(cat).raw(),
+            "{what}: breakdown {}",
+            cat.label()
+        );
+    }
+    for (p, (x, y)) in a.per_proc.iter().zip(&b.per_proc).enumerate() {
+        for cat in CostCategory::ALL {
+            assert_eq!(
+                x.get(cat).raw(),
+                y.get(cat).raw(),
+                "{what}: proc {p} {}",
+                cat.label()
+            );
+        }
+    }
+    assert_eq!(a.lan_messages, b.lan_messages, "{what}: LAN messages");
+    assert_eq!(a.lan_bytes, b.lan_bytes, "{what}: LAN bytes");
+}
+
+fn equivalence_record(name: &str, c: usize, r: &RunReport) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.str("workload", name)
+        .num("cluster_size", c as f64)
+        .num("duration_cycles", r.duration.raw() as f64)
+        .num("lan_messages", r.lan_messages as f64)
+        .num("lan_duplicates", r.lan_duplicates as f64)
+        .num("retries", r.retries as f64)
+        .num("cycle_exact_vs_faultfree", 1.0);
+    o
+}
+
+/// The asserted section: drop-0 plans and duplicate storms must not
+/// move a single simulated cycle.
+fn run_equivalence() -> Vec<JsonObject> {
+    let mut records = Vec::new();
+    for c in [1, 2, 4] {
+        let baseline = run_ring(c, FaultPlan::none());
+        assert!(baseline.lan_messages > 0, "ring must cross SSMPs at C={c}");
+
+        let zero = run_ring(c, FaultPlan::uniform(SEED, 0.0, 0.0, Cycles::ZERO));
+        assert_identical(&baseline, &zero, &format!("drop-0 plan C={c}"));
+        assert_eq!(zero.lan_drops + zero.lan_duplicates + zero.retries, 0);
+        records.push(equivalence_record("ring/drop0", c, &zero));
+
+        let storm = run_ring(c, FaultPlan::uniform(SEED, 0.0, 1.0, Cycles::ZERO));
+        assert_identical(&baseline, &storm, &format!("duplicate storm C={c}"));
+        assert!(
+            storm.lan_duplicates >= storm.lan_messages,
+            "storm must duplicate every inter-SSMP message at C={c}"
+        );
+        assert_eq!(storm.lan_drops, 0, "storm drops nothing");
+        records.push(equivalence_record("ring/dup-storm", c, &storm));
+
+        println!(
+            "  equivalence C={c}: {} msgs, dup-storm rejected {} copies, cycle-exact",
+            baseline.lan_messages, storm.lan_duplicates
+        );
+    }
+    records
+}
+
+/// One sweep point: `reps` verified runs of `app` at `(C, drop)`,
+/// durations averaged, fault counters summed over the repetitions.
+struct Point {
+    app: &'static str,
+    cluster_size: usize,
+    drop: f64,
+    duration: u64,
+    mgs_cycles: u64,
+    lan_messages: u64,
+    lan_drops: u64,
+    lan_duplicates: u64,
+    retries: u64,
+}
+
+fn plan_for(drop: f64) -> FaultPlan {
+    if drop == 0.0 {
+        FaultPlan::none()
+    } else {
+        // Duplicate as often as dropping, with bounded delivery jitter:
+        // all three fault classes active at every nonzero sweep point.
+        FaultPlan::uniform(SEED, drop, drop, JITTER)
+    }
+}
+
+fn run_point(base: &DssmpConfig, app: &dyn MgsApp, c: usize, drop: f64, reps: usize) -> Point {
+    let mut duration = 0u64;
+    let mut mgs_cycles = 0u64;
+    let mut last: Option<RunReport> = None;
+    let mut drops = 0u64;
+    let mut dups = 0u64;
+    let mut retries = 0u64;
+    for _ in 0..reps {
+        let mut cfg = base.clone().with_faults(plan_for(drop));
+        cfg.cluster_size = c;
+        let machine = Machine::new(cfg);
+        // `execute` verifies the numerical result against a plain-Rust
+        // reference and panics on mismatch: a run that survives here
+        // recovered to the exact fault-free memory image.
+        let report = app.execute(&machine);
+        duration += report.duration.raw();
+        mgs_cycles += report.breakdown.get(CostCategory::Mgs).raw();
+        drops += report.lan_drops;
+        dups += report.lan_duplicates;
+        retries += report.retries;
+        last = Some(report);
+    }
+    let report = last.expect("reps >= 1");
+    if drop == 0.0 {
+        assert_eq!(drops + dups + retries, 0, "perfect fabric injected faults");
+    }
+    Point {
+        app: app.name(),
+        cluster_size: c,
+        drop,
+        duration: duration / reps as u64,
+        mgs_cycles: mgs_cycles / reps as u64,
+        lan_messages: report.lan_messages,
+        lan_drops: drops,
+        lan_duplicates: dups,
+        retries,
+    }
+}
+
+fn main() {
+    let opts = Options::parse();
+    let base = suite::base_config(&opts);
+
+    println!(
+        "chaos: protocol recovery on an unreliable LAN (P = {})",
+        opts.p
+    );
+    println!("\nequivalence (deterministic ring, asserted cycle-exact):");
+    let equivalence = run_equivalence();
+
+    // The six applications of the acceptance criteria: the suite plus
+    // the (unmodified) Water kernel.
+    let mut apps: Vec<Box<dyn MgsApp>> = suite::suite(&opts)
+        .into_iter()
+        .map(|(app, _)| app)
+        .collect();
+    apps.push(Box::new(suite::kernels(&opts)[0].0.clone()));
+
+    let cluster_sizes: Vec<usize> = {
+        let mut v = Vec::new();
+        let mut c = 1;
+        while c <= opts.p {
+            v.push(c);
+            c *= 2;
+        }
+        v
+    };
+
+    let budget = WorkerBudget::new(
+        opts.jobs
+            .unwrap_or_else(mgs_bench::parallel::host_parallelism)
+            .max(opts.p),
+    );
+    let mut jobs: Vec<(usize, Box<dyn FnOnce() -> Point + Send>)> = Vec::new();
+    for app in &apps {
+        for &c in &cluster_sizes {
+            for &drop in &DROP_RATES {
+                let base = base.clone();
+                let app = app.as_ref();
+                let reps = opts.reps;
+                jobs.push((
+                    opts.p,
+                    Box::new(move || run_point(&base, app, c, drop, reps)),
+                ));
+            }
+        }
+    }
+    println!(
+        "\nsweep: {} apps x {} cluster sizes x {:?} drop rates ({} verified runs)",
+        apps.len(),
+        cluster_sizes.len(),
+        DROP_RATES,
+        jobs.len() * opts.reps
+    );
+    let points = run_weighted(&budget, jobs);
+
+    // Baseline (drop 0) durations per (app, C) for the slowdown column.
+    let baseline = |app: &str, c: usize| -> u64 {
+        points
+            .iter()
+            .find(|pt| pt.app == app && pt.cluster_size == c && pt.drop == 0.0)
+            .map(|pt| pt.duration)
+            .expect("drop-0 point exists")
+    };
+
+    let mut sweep_records = Vec::with_capacity(points.len());
+    for pt in &points {
+        let base_cycles = baseline(pt.app, pt.cluster_size);
+        let mut o = JsonObject::new();
+        o.str("app", pt.app)
+            .num("cluster_size", pt.cluster_size as f64)
+            .num("drop_rate", pt.drop)
+            .num("duration_cycles", pt.duration as f64)
+            .num(
+                "slowdown_vs_faultfree",
+                pt.duration as f64 / base_cycles as f64,
+            )
+            .num("mgs_cycles", pt.mgs_cycles as f64)
+            .num("lan_messages", pt.lan_messages as f64)
+            .num("lan_drops", pt.lan_drops as f64)
+            .num("lan_duplicates", pt.lan_duplicates as f64)
+            .num("retries", pt.retries as f64)
+            .num("verified", 1.0);
+        sweep_records.push(o);
+    }
+
+    for app in &apps {
+        let name = app.name();
+        let worst = points
+            .iter()
+            .filter(|pt| pt.app == name && pt.drop == DROP_RATES[3])
+            .map(|pt| pt.duration as f64 / baseline(name, pt.cluster_size) as f64)
+            .fold(0.0f64, f64::max);
+        let retries: u64 = points
+            .iter()
+            .filter(|pt| pt.app == name)
+            .map(|pt| pt.retries)
+            .sum();
+        println!(
+            "  {name:>14}: verified at every point; {retries} retries, worst slowdown {:.3}x at {}% drop",
+            worst,
+            DROP_RATES[3] * 100.0
+        );
+    }
+
+    let mut root = JsonObject::new();
+    root.str("bench", "chaos")
+        .num("p", opts.p as f64)
+        .num("scale", opts.scale as f64)
+        .num("reps", opts.reps as f64)
+        .str("seed", &format!("{SEED:#018x}"))
+        .num("jitter_cycles", JITTER.raw() as f64)
+        .array("equivalence", equivalence)
+        .array("sweep", sweep_records);
+    let path = "BENCH_chaos.json";
+    std::fs::write(path, root.render(0) + "\n").expect("write BENCH_chaos.json");
+    println!("\nwrote {path}: every run recovered to the fault-free result");
+}

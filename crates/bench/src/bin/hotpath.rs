@@ -11,7 +11,7 @@
 //! * `directory_contended_c4` — the same comparison with four
 //!   processor threads sharing one directory, where the fused path's
 //!   shorter lock hold times and single acquisition matter most;
-//! * `env_load_hot` — end-to-end [`Env::load`]s through translation
+//! * `env_load_hot` — end-to-end [`mgs_core::Env::load`]s through translation
 //!   cache, cost accounting and the cache system (fused path only;
 //!   the Env-level fast paths have no preserved baseline).
 //!

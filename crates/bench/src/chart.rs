@@ -98,6 +98,9 @@ mod tests {
             lock_hits: 0,
             lan_messages: 0,
             lan_bytes: 0,
+            lan_drops: 0,
+            lan_duplicates: 0,
+            retries: 0,
         }
     }
 

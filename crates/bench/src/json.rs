@@ -226,6 +226,9 @@ mod tests {
                 lock_hits: 0,
                 lan_messages: 5,
                 lan_bytes: 1024,
+                lan_drops: 0,
+                lan_duplicates: 0,
+                retries: 0,
             },
             lock_hit_ratio: 0.5,
         }

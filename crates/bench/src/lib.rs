@@ -12,6 +12,14 @@
 //! | `summary` | Framework metrics (breakup penalty, potential, curvature) vs. paper |
 //! | `ablation` | Design-choice ablations (single-writer opt, lock affinity, page size) |
 //!
+//! Plus three study binaries beyond the paper's figures:
+//!
+//! | Target | Produces |
+//! |---|---|
+//! | `scaling` | External-latency / page-size / machine-size sweeps |
+//! | `hotpath` | Host-performance microbenchmarks → `BENCH_hotpath.json` |
+//! | `chaos` | Fault-injection sweep (drop × duplicate × jitter) with verified recovery → `BENCH_chaos.json` |
+//!
 //! All binaries accept `--p <procs>` (default 32) and `--scale <div>`
 //! (divide the problem size for quick runs; default 1 = paper sizes).
 

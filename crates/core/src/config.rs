@@ -1,5 +1,7 @@
 //! DSSMP machine configuration.
 
+use mgs_net::FaultPlan;
+use mgs_proto::RetryPolicy;
 use mgs_sim::{CostModel, Cycles};
 use mgs_vm::PageGeometry;
 
@@ -61,6 +63,13 @@ pub struct DssmpConfig {
     /// machine trace (see [`Machine::take_trace`](crate::Machine)).
     /// Off by default: tracing large runs allocates heavily.
     pub trace: bool,
+    /// Seeded fault injection on the external LAN (default
+    /// [`FaultPlan::none`]: the paper's perfect fabric, with message
+    /// behaviour bit-identical to builds without fault support).
+    pub fault_plan: FaultPlan,
+    /// Timeout/retransmission policy the protocol uses to recover from
+    /// injected message loss. Never consulted on a perfect fabric.
+    pub retry: RetryPolicy,
 }
 
 impl DssmpConfig {
@@ -90,7 +99,15 @@ impl DssmpConfig {
             lock_affinity_window: mgs_sync::MgsLock::DEFAULT_AFFINITY_WINDOW,
             seed: 0x4D47_5331, // "MGS1"
             trace: false,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::lan_default(),
         }
+    }
+
+    /// Attaches a seeded [`FaultPlan`] to the external LAN.
+    pub fn with_faults(mut self, plan: FaultPlan) -> DssmpConfig {
+        self.fault_plan = plan;
+        self
     }
 
     /// Number of SSMPs (`P / C`).

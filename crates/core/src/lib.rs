@@ -59,6 +59,8 @@ pub use report::RunReport;
 pub use trace::{TraceEvent, TraceKind};
 
 // Re-exports used throughout the public API.
+pub use mgs_net::{FaultPlan, FaultSpec, NetStats};
+pub use mgs_proto::{ProtocolError, RetryPolicy};
 pub use mgs_sim::{CostCategory, CostModel, CycleAccount, Cycles};
 pub use mgs_sync::{HwLock, MgsBarrier, MgsLock};
 pub use mgs_vm::{AccessKind, PageGeometry};

@@ -49,8 +49,11 @@ impl Machine {
         pcfg.single_writer_opt = cfg.single_writer_opt;
         pcfg.readonly_clean_opt = cfg.readonly_clean_opt;
         pcfg.lazy_read_invalidation = cfg.lazy_read_invalidation;
+        pcfg.retry = cfg.retry;
         let proto = Arc::new(MgsProtocol::new(pcfg));
-        let lan = Arc::new(LanModel::new(cfg.n_ssmps(), cfg.ext_latency));
+        let lan = Arc::new(
+            LanModel::new(cfg.n_ssmps(), cfg.ext_latency).with_faults(cfg.fault_plan.clone()),
+        );
         let engines = (0..cfg.n_procs)
             .map(|_| Arc::new(Occupancy::new()))
             .collect();
@@ -286,6 +289,11 @@ impl Machine {
             (
                 self.lan.stats().total_msgs(),
                 self.lan.stats().total_bytes(),
+            ),
+            (
+                self.lan.stats().dropped_total(),
+                self.lan.stats().duplicated_total(),
+                self.proto.stats().retries.get(),
             ),
         )
     }

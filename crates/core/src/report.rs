@@ -36,6 +36,14 @@ pub struct RunReport {
     pub lan_messages: u64,
     /// Payload bytes carried by those messages.
     pub lan_bytes: u64,
+    /// Transmissions lost by the fault-injecting fabric (0 on a perfect
+    /// fabric).
+    pub lan_drops: u64,
+    /// Duplicate copies injected by the fabric (all discarded by the
+    /// protocol's sequence filters).
+    pub lan_duplicates: u64,
+    /// Protocol retransmissions performed to recover from the drops.
+    pub retries: u64,
 }
 
 impl RunReport {
@@ -43,6 +51,7 @@ impl RunReport {
         results: Vec<ProcResult>,
         lock_totals: (u64, u64),
         lan_totals: (u64, u64),
+        fault_totals: (u64, u64, u64),
     ) -> RunReport {
         let n = results.len().max(1) as u64;
         let duration = results
@@ -66,6 +75,9 @@ impl RunReport {
             lock_hits: lock_totals.1,
             lan_messages: lan_totals.0,
             lan_bytes: lan_totals.1,
+            lan_drops: fault_totals.0,
+            lan_duplicates: fault_totals.1,
+            retries: fault_totals.2,
         }
     }
 
@@ -109,7 +121,15 @@ impl fmt::Display for RunReport {
             self.lock_hit_ratio(),
             self.lan_messages,
             self.lan_bytes / 1024
-        )
+        )?;
+        if self.lan_drops + self.lan_duplicates + self.retries > 0 {
+            write!(
+                f,
+                "\n  faults: {} dropped, {} duplicated, {} retries",
+                self.lan_drops, self.lan_duplicates, self.retries
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +153,7 @@ mod tests {
             vec![result(0, 100, 100), result(10, 250, 240)],
             (0, 0),
             (0, 0),
+            (0, 0, 0),
         );
         assert_eq!(r.duration, Cycles(240));
     }
@@ -143,21 +164,22 @@ mod tests {
             vec![result(0, 100, 100), result(0, 100, 50)],
             (0, 0),
             (0, 0),
+            (0, 0, 0),
         );
         assert_eq!(r.breakdown.get(CostCategory::User), Cycles(75));
     }
 
     #[test]
     fn hit_ratio_defaults_to_one() {
-        let r = RunReport::from_procs(vec![result(0, 1, 1)], (0, 0), (0, 0));
+        let r = RunReport::from_procs(vec![result(0, 1, 1)], (0, 0), (0, 0), (0, 0, 0));
         assert_eq!(r.lock_hit_ratio(), 1.0);
-        let r2 = RunReport::from_procs(vec![result(0, 1, 1)], (10, 4), (0, 0));
+        let r2 = RunReport::from_procs(vec![result(0, 1, 1)], (10, 4), (0, 0), (0, 0, 0));
         assert!((r2.lock_hit_ratio() - 0.4).abs() < 1e-12);
     }
 
     #[test]
     fn display_contains_all_categories() {
-        let r = RunReport::from_procs(vec![result(0, 10, 10)], (0, 0), (0, 0));
+        let r = RunReport::from_procs(vec![result(0, 10, 10)], (0, 0), (0, 0), (0, 0, 0));
         let s = r.to_string();
         for label in ["User", "Lock", "Barrier", "MGS"] {
             assert!(s.contains(label), "missing {label}");

@@ -4,8 +4,8 @@
 
 use crate::trace::{TraceEvent, TraceKind};
 use crate::Machine;
-use mgs_net::MsgKind;
-use mgs_proto::ProtoTiming;
+use mgs_net::{Delivery, MsgKind};
+use mgs_proto::{ProtoTiming, SendOutcome};
 use mgs_sim::{CostCategory, Cycles, ProcClock};
 
 pub(crate) struct RuntimeTiming<'a> {
@@ -71,6 +71,93 @@ impl ProtoTiming for RuntimeTiming<'_> {
 
     fn wait_until(&mut self, instant: Cycles) {
         self.clock.advance_to(CostCategory::Mgs, instant);
+    }
+
+    fn try_message(
+        &mut self,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        payload_bytes: u64,
+    ) -> SendOutcome {
+        if from == to || self.machine.lan().fault_plan().is_none() {
+            // Intra-SSMP messages and perfect fabrics: identical charge
+            // sequence to the pre-fault-injection runtime.
+            self.message(from, to, kind, payload_bytes);
+            return SendOutcome::Delivered { duplicates: 0 };
+        }
+        let cost = &self.machine.config().cost;
+        self.clock.charge(CostCategory::Mgs, cost.msg_send);
+        let delivery = self
+            .machine
+            .lan()
+            .transmit(from, to, kind, payload_bytes, self.clock.now());
+        match delivery {
+            Delivery::Delivered {
+                arrival,
+                duplicates,
+            } => {
+                if self.machine.tracing() {
+                    self.machine.record_trace(TraceEvent {
+                        proc: self.proc,
+                        time: self.clock.now(),
+                        kind: TraceKind::Message {
+                            from,
+                            to,
+                            kind,
+                            bytes: payload_bytes,
+                        },
+                    });
+                    if duplicates > 0 {
+                        self.machine.record_trace(TraceEvent {
+                            proc: self.proc,
+                            time: self.clock.now(),
+                            kind: TraceKind::Fault {
+                                from,
+                                to,
+                                kind,
+                                duplicates,
+                            },
+                        });
+                    }
+                }
+                self.clock.advance_to(CostCategory::Mgs, arrival);
+                self.clock.charge(CostCategory::Mgs, cost.msg_recv);
+                SendOutcome::Delivered { duplicates }
+            }
+            Delivery::Dropped => {
+                if self.machine.tracing() {
+                    self.machine.record_trace(TraceEvent {
+                        proc: self.proc,
+                        time: self.clock.now(),
+                        kind: TraceKind::Fault {
+                            from,
+                            to,
+                            kind,
+                            duplicates: 0,
+                        },
+                    });
+                }
+                SendOutcome::Dropped
+            }
+        }
+    }
+
+    fn retry_wait(&mut self, from: usize, to: usize, kind: MsgKind, attempt: u32, wait: Cycles) {
+        if self.machine.tracing() {
+            self.machine.record_trace(TraceEvent {
+                proc: self.proc,
+                time: self.clock.now(),
+                kind: TraceKind::Retry {
+                    from,
+                    to,
+                    kind,
+                    attempt,
+                    wait,
+                },
+            });
+        }
+        self.clock.charge(CostCategory::Mgs, wait);
     }
 
     fn block_begin(&mut self) {

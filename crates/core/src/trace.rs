@@ -46,6 +46,32 @@ pub enum TraceKind {
         /// Service time.
         cycles: Cycles,
     },
+    /// A transmission lost by the fault-injecting fabric (the sender
+    /// will time out and retransmit).
+    Fault {
+        /// Sending SSMP.
+        from: usize,
+        /// Receiving SSMP.
+        to: usize,
+        /// Protocol message type (Table 2).
+        kind: MsgKind,
+        /// Fabric-injected duplicate copies delivered alongside a
+        /// message (0 for a drop, where nothing was delivered).
+        duplicates: u32,
+    },
+    /// A timeout wait charged before retransmitting a lost message.
+    Retry {
+        /// Sending SSMP.
+        from: usize,
+        /// Receiving SSMP.
+        to: usize,
+        /// Protocol message type (Table 2).
+        kind: MsgKind,
+        /// 0-based index of the lost transmission.
+        attempt: u32,
+        /// Backoff wait charged to the sender.
+        wait: Cycles,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -68,6 +94,41 @@ impl fmt::Display for TraceEvent {
                 self.proc,
                 self.time.raw(),
                 cycles.raw()
+            ),
+            TraceKind::Fault {
+                from,
+                to,
+                kind,
+                duplicates,
+            } => {
+                if *duplicates == 0 {
+                    write!(
+                        f,
+                        "[p{:02} @{:>10}] {kind} SSMP {from} -> {to} DROPPED",
+                        self.proc,
+                        self.time.raw()
+                    )
+                } else {
+                    write!(
+                        f,
+                        "[p{:02} @{:>10}] {kind} SSMP {from} -> {to} +{duplicates} duplicate(s)",
+                        self.proc,
+                        self.time.raw()
+                    )
+                }
+            }
+            TraceKind::Retry {
+                from,
+                to,
+                kind,
+                attempt,
+                wait,
+            } => write!(
+                f,
+                "[p{:02} @{:>10}] retry #{attempt} of {kind} SSMP {from} -> {to} after {} cyc",
+                self.proc,
+                self.time.raw(),
+                wait.raw()
             ),
         }
     }

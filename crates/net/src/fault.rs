@@ -1,0 +1,380 @@
+//! Deterministic fault injection for the inter-SSMP LAN.
+//!
+//! The paper models the external network as a perfect fabric: every
+//! message arrives, exactly once, after a fixed latency (§4.2.2). Real
+//! commodity LANs drop, duplicate and delay messages, and a software
+//! DSM layer that has never seen those behaviours cannot be trusted at
+//! scale. A [`FaultPlan`] describes a *seeded, reproducible* unreliable
+//! fabric: per-(source, destination, kind) drop probability,
+//! duplication probability and delay jitter, each decided by a
+//! [`XorShift64`](mgs_sim::XorShift64) stream derived purely from
+//! `(seed, src, dst, kind, transmission index)`. Two runs with the same
+//! plan and the same per-channel transmission order therefore inject
+//! bit-identical faults.
+//!
+//! The plan is pure configuration (it is `Clone` and holds no mutable
+//! state); the per-channel transmission counters live in the
+//! [`LanModel`](crate::LanModel) the plan is attached to, so cloning a
+//! plan into several machines gives each machine an independent but
+//! identically-seeded fabric.
+
+use crate::MsgKind;
+use mgs_sim::{Cycles, XorShift64};
+
+/// Fault probabilities and jitter bound for one class of transmissions.
+///
+/// `drop` and `duplicate` are probabilities; `jitter` is the *maximum*
+/// extra delivery delay, drawn uniformly from `[0, jitter]` per
+/// delivered message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability in `[0, 1)` that a transmission is lost in the
+    /// fabric (strictly below 1: a link that loses everything can never
+    /// deliver, so no retry bound would terminate).
+    pub drop: f64,
+    /// Probability in `[0, 1]` that the fabric delivers one extra copy
+    /// of the message (e.g. a link-layer retransmission artifact).
+    pub duplicate: f64,
+    /// Maximum extra delivery delay; the actual jitter is uniform in
+    /// `[0, jitter]` cycles.
+    pub jitter: Cycles,
+}
+
+impl FaultSpec {
+    /// The fault-free spec: nothing dropped, nothing duplicated, no
+    /// jitter.
+    pub const NONE: FaultSpec = FaultSpec {
+        drop: 0.0,
+        duplicate: 0.0,
+        jitter: Cycles::ZERO,
+    };
+
+    /// `true` when this spec injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.jitter == Cycles::ZERO
+    }
+
+    /// Panics unless `0 <= drop < 1` and `0 <= duplicate <= 1`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.drop),
+            "drop probability must be in [0, 1), got {}",
+            self.drop
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate),
+            "duplicate probability must be in [0, 1], got {}",
+            self.duplicate
+        );
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec::NONE
+    }
+}
+
+/// What the (possibly unreliable) fabric decided to do with one
+/// transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The message arrives, `jitter` cycles later than the fault-free
+    /// fabric would deliver it, plus `duplicates` redundant extra
+    /// copies.
+    Deliver {
+        /// Extra delivery delay beyond the fixed LAN latency.
+        jitter: Cycles,
+        /// Number of redundant copies delivered alongside the message.
+        duplicates: u32,
+    },
+    /// The message is lost; the sender finds out by timeout.
+    Drop,
+}
+
+/// A seeded description of an unreliable LAN fabric.
+///
+/// Specs are resolved most-specific-first for each transmission:
+/// a per-`(src, dst, kind)` override, then a per-kind override, then a
+/// per-link override, then the plan default.
+///
+/// # Example
+///
+/// ```
+/// use mgs_net::{Fate, FaultPlan, FaultSpec, MsgKind};
+/// use mgs_sim::Cycles;
+///
+/// // A perfect fabric decides nothing.
+/// assert!(!FaultPlan::none().is_active());
+///
+/// // A 10%-loss fabric with up to 500 cycles of jitter.
+/// let plan = FaultPlan::uniform(42, 0.10, 0.02, Cycles(500));
+/// assert!(plan.is_active());
+///
+/// // Fates are a pure function of (seed, src, dst, kind, n): the same
+/// // channel history yields the same faults, run after run.
+/// let a = plan.fate(0, 1, MsgKind::RReq, 7);
+/// let b = plan.fate(0, 1, MsgKind::RReq, 7);
+/// assert_eq!(a, b);
+/// match a {
+///     Fate::Deliver { jitter, .. } => assert!(jitter <= Cycles(500)),
+///     Fate::Drop => {}
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    default: FaultSpec,
+    links: Vec<((usize, usize), FaultSpec)>,
+    kinds: Vec<(MsgKind, FaultSpec)>,
+    link_kinds: Vec<((usize, usize, MsgKind), FaultSpec)>,
+}
+
+impl FaultPlan {
+    /// The perfect fabric: no faults, zero decision overhead. This is
+    /// the default plan of every machine; with it, delivery is
+    /// bit-identical to the pre-fault-injection simulator.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An (initially fault-free) plan seeded for reproducible fault
+    /// streams; add faults with the `with_*` builders.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The common case: every inter-SSMP link faulting identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop` is not in `[0, 1)` or `duplicate` not in
+    /// `[0, 1]`.
+    pub fn uniform(seed: u64, drop: f64, duplicate: f64, jitter: Cycles) -> FaultPlan {
+        FaultPlan::seeded(seed).with_default(FaultSpec {
+            drop,
+            duplicate,
+            jitter,
+        })
+    }
+
+    /// Sets the default spec applied to transmissions with no more
+    /// specific override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's probabilities are out of range.
+    pub fn with_default(mut self, spec: FaultSpec) -> FaultPlan {
+        spec.validate();
+        self.default = spec;
+        self
+    }
+
+    /// Overrides the spec for every message on the `src → dst` link
+    /// (directed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's probabilities are out of range.
+    pub fn with_link(mut self, src: usize, dst: usize, spec: FaultSpec) -> FaultPlan {
+        spec.validate();
+        self.links.retain(|(k, _)| *k != (src, dst));
+        self.links.push(((src, dst), spec));
+        self
+    }
+
+    /// Overrides the spec for every message of one kind, on any link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's probabilities are out of range.
+    pub fn with_kind(mut self, kind: MsgKind, spec: FaultSpec) -> FaultPlan {
+        spec.validate();
+        self.kinds.retain(|(k, _)| *k != kind);
+        self.kinds.push((kind, spec));
+        self
+    }
+
+    /// Overrides the spec for one kind on one directed link (the most
+    /// specific override).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's probabilities are out of range.
+    pub fn with_link_kind(
+        mut self,
+        src: usize,
+        dst: usize,
+        kind: MsgKind,
+        spec: FaultSpec,
+    ) -> FaultPlan {
+        spec.validate();
+        self.link_kinds.retain(|(k, _)| *k != (src, dst, kind));
+        self.link_kinds.push(((src, dst, kind), spec));
+        self
+    }
+
+    /// The seed the decision streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` when some transmission class can be faulted. An inactive
+    /// plan is skipped entirely by [`LanModel`](crate::LanModel): no
+    /// counters, no RNG draws.
+    pub fn is_active(&self) -> bool {
+        !self.default.is_none()
+            || self.links.iter().any(|(_, s)| !s.is_none())
+            || self.kinds.iter().any(|(_, s)| !s.is_none())
+            || self.link_kinds.iter().any(|(_, s)| !s.is_none())
+    }
+
+    /// The spec governing `kind` messages from `src` to `dst`
+    /// (most-specific override wins).
+    pub fn spec_for(&self, src: usize, dst: usize, kind: MsgKind) -> FaultSpec {
+        if let Some((_, s)) = self.link_kinds.iter().find(|(k, _)| *k == (src, dst, kind)) {
+            return *s;
+        }
+        if let Some((_, s)) = self.kinds.iter().find(|(k, _)| *k == kind) {
+            return *s;
+        }
+        if let Some((_, s)) = self.links.iter().find(|(k, _)| *k == (src, dst)) {
+            return *s;
+        }
+        self.default
+    }
+
+    /// Decides the fate of the `n`-th transmission of `kind` from `src`
+    /// to `dst`. Pure: the decision depends only on the plan and the
+    /// arguments, so a caller that numbers transmissions per channel
+    /// replays identical fault schedules for a given seed.
+    pub fn fate(&self, src: usize, dst: usize, kind: MsgKind, n: u64) -> Fate {
+        let spec = self.spec_for(src, dst, kind);
+        if spec.is_none() {
+            return Fate::Deliver {
+                jitter: Cycles::ZERO,
+                duplicates: 0,
+            };
+        }
+        let mut rng = XorShift64::new(stream_seed(self.seed, src, dst, kind, n));
+        if rng.next_f64() < spec.drop {
+            return Fate::Drop;
+        }
+        let duplicates = u32::from(rng.next_f64() < spec.duplicate);
+        let jitter = if spec.jitter == Cycles::ZERO {
+            Cycles::ZERO
+        } else {
+            Cycles(rng.next_below(spec.jitter.raw() + 1))
+        };
+        Fate::Deliver { jitter, duplicates }
+    }
+}
+
+/// Mixes the plan seed with the channel coordinates and transmission
+/// index into one well-spread 64-bit stream seed.
+fn stream_seed(seed: u64, src: usize, dst: usize, kind: MsgKind, n: u64) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut x = seed ^ K;
+    for v in [src as u64, dst as u64, kind.index() as u64, n] {
+        x = (x ^ v).wrapping_mul(K).rotate_left(27);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inactive_and_always_delivers() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for n in 0..100 {
+            assert_eq!(
+                plan.fate(0, 1, MsgKind::RReq, n),
+                Fate::Deliver {
+                    jitter: Cycles::ZERO,
+                    duplicates: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_seed() {
+        let a = FaultPlan::uniform(7, 0.3, 0.2, Cycles(100));
+        let b = FaultPlan::uniform(7, 0.3, 0.2, Cycles(100));
+        for n in 0..500 {
+            assert_eq!(
+                a.fate(1, 2, MsgKind::Diff, n),
+                b.fate(1, 2, MsgKind::Diff, n)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_or_channels_diverge() {
+        let a = FaultPlan::uniform(1, 0.5, 0.0, Cycles::ZERO);
+        let b = FaultPlan::uniform(2, 0.5, 0.0, Cycles::ZERO);
+        let same = (0..200)
+            .filter(|&n| a.fate(0, 1, MsgKind::Inv, n) == b.fate(0, 1, MsgKind::Inv, n))
+            .count();
+        assert!(same < 200, "seeds must change the schedule");
+        let cross = (0..200)
+            .filter(|&n| a.fate(0, 1, MsgKind::Inv, n) == a.fate(1, 0, MsgKind::Inv, n))
+            .count();
+        assert!(cross < 200, "channels must have independent streams");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let plan = FaultPlan::uniform(99, 0.25, 0.0, Cycles::ZERO);
+        let drops = (0..4000)
+            .filter(|&n| plan.fate(0, 1, MsgKind::RReq, n) == Fate::Drop)
+            .count();
+        // 4000 Bernoulli(0.25) trials: expect ~1000, allow wide slack.
+        assert!((700..1300).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let plan = FaultPlan::uniform(3, 0.0, 0.0, Cycles(64));
+        for n in 0..1000 {
+            match plan.fate(2, 3, MsgKind::RDat, n) {
+                Fate::Deliver { jitter, .. } => assert!(jitter <= Cycles(64)),
+                Fate::Drop => panic!("drop rate is zero"),
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_prefers_most_specific() {
+        let loud = FaultSpec {
+            drop: 0.9,
+            duplicate: 0.0,
+            jitter: Cycles::ZERO,
+        };
+        let quiet = FaultSpec {
+            drop: 0.1,
+            duplicate: 0.0,
+            jitter: Cycles::ZERO,
+        };
+        let plan = FaultPlan::seeded(1)
+            .with_link(0, 1, quiet)
+            .with_kind(MsgKind::Inv, quiet)
+            .with_link_kind(0, 1, MsgKind::Inv, loud);
+        assert_eq!(plan.spec_for(0, 1, MsgKind::Inv), loud);
+        assert_eq!(plan.spec_for(0, 1, MsgKind::Ack), quiet); // link
+        assert_eq!(plan.spec_for(2, 3, MsgKind::Inv), quiet); // kind
+        assert_eq!(plan.spec_for(2, 3, MsgKind::Ack), FaultSpec::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn full_loss_link_is_rejected() {
+        FaultPlan::uniform(1, 1.0, 0.0, Cycles::ZERO);
+    }
+}

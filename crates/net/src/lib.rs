@@ -13,14 +13,26 @@
 //! Message kinds ([`MsgKind`]) mirror Table 2 of the paper so that
 //! traffic statistics ([`NetStats`]) can be reported per protocol
 //! message type.
+//!
+//! Beyond the paper's perfect fabric, the crate provides **seeded
+//! fault injection** ([`FaultPlan`]): per-(source, destination, kind)
+//! message drop, duplication and delay-jitter, decided by
+//! deterministic [`XorShift64`](mgs_sim::XorShift64) streams so that a
+//! faulty run replays bit-identically for a given seed. The
+//! [`LanModel::transmit`] entry point filters every transmission
+//! through the attached plan and reports the [`Delivery`] outcome; the
+//! MGS protocol layer (`mgs-proto`) recovers from losses with
+//! timeout/retry and from duplicates with sequence-number dedup.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fault;
 mod lan;
 mod mesh;
 mod msg;
 
-pub use lan::LanModel;
+pub use fault::{Fate, FaultPlan, FaultSpec};
+pub use lan::{Delivery, LanModel};
 pub use mesh::MeshTopology;
 pub use msg::{MsgKind, NetStats};

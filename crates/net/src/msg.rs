@@ -112,7 +112,7 @@ impl MsgKind {
         )
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         Self::ALL.iter().position(|&k| k == self).expect("in ALL")
     }
 }
@@ -123,11 +123,22 @@ impl fmt::Display for MsgKind {
     }
 }
 
-/// Per-message-kind traffic counters (messages and payload bytes).
+/// Per-message-kind traffic counters (messages and payload bytes),
+/// plus injected-fault counters when the LAN runs under a
+/// [`FaultPlan`](crate::FaultPlan): transmissions lost in the fabric,
+/// duplicate copies delivered, and total jitter delay added.
+///
+/// `msgs`/`bytes` count *transmissions entering the fabric* — a
+/// dropped message is still counted (it was sent), and each protocol
+/// retry is a fresh transmission. Duplicates are fabric-created copies
+/// and are counted separately, not in `msgs`.
 #[derive(Debug, Default)]
 pub struct NetStats {
     msgs: [Counter; 19],
     bytes: [Counter; 19],
+    dropped: [Counter; 19],
+    duplicated: [Counter; 19],
+    jitter: Counter,
 }
 
 impl NetStats {
@@ -162,11 +173,58 @@ impl NetStats {
         self.bytes.iter().map(Counter::get).sum()
     }
 
+    /// Records one transmission of `kind` lost in the fabric.
+    pub fn record_drop(&self, kind: MsgKind) {
+        self.dropped[kind.index()].incr();
+    }
+
+    /// Records one fabric-injected duplicate copy of `kind`.
+    pub fn record_duplicate(&self, kind: MsgKind) {
+        self.duplicated[kind.index()].incr();
+    }
+
+    /// Records `cycles` of fault-injected delivery jitter.
+    pub fn record_jitter(&self, cycles: u64) {
+        self.jitter.add(cycles);
+    }
+
+    /// Transmissions of `kind` lost in the fabric.
+    pub fn dropped(&self, kind: MsgKind) -> u64 {
+        self.dropped[kind.index()].get()
+    }
+
+    /// Total transmissions lost across all kinds.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().map(Counter::get).sum()
+    }
+
+    /// Duplicate copies of `kind` injected by the fabric.
+    pub fn duplicated(&self, kind: MsgKind) -> u64 {
+        self.duplicated[kind.index()].get()
+    }
+
+    /// Total duplicate copies injected across all kinds.
+    pub fn duplicated_total(&self) -> u64 {
+        self.duplicated.iter().map(Counter::get).sum()
+    }
+
+    /// Total delivery-jitter cycles injected by the fabric.
+    pub fn jitter_cycles(&self) -> u64 {
+        self.jitter.get()
+    }
+
     /// Resets all counters.
     pub fn reset(&self) {
-        for c in self.msgs.iter().chain(self.bytes.iter()) {
+        for c in self
+            .msgs
+            .iter()
+            .chain(self.bytes.iter())
+            .chain(self.dropped.iter())
+            .chain(self.duplicated.iter())
+        {
             c.reset();
         }
+        self.jitter.reset();
     }
 }
 
@@ -178,6 +236,17 @@ impl fmt::Display for NetStats {
             if n > 0 {
                 writeln!(f, "{:>12} {:>10} {:>12}", kind.name(), n, self.bytes(kind))?;
             }
+        }
+        let (drops, dups, jitter) = (
+            self.dropped_total(),
+            self.duplicated_total(),
+            self.jitter_cycles(),
+        );
+        if drops + dups + jitter > 0 {
+            writeln!(
+                f,
+                "faults: {drops} dropped, {dups} duplicated, {jitter} jitter cycles"
+            )?;
         }
         Ok(())
     }
@@ -220,9 +289,33 @@ mod tests {
     fn reset_clears() {
         let s = NetStats::new();
         s.record(MsgKind::Inv, 8);
+        s.record_drop(MsgKind::Inv);
+        s.record_duplicate(MsgKind::Diff);
+        s.record_jitter(42);
         s.reset();
         assert_eq!(s.total_msgs(), 0);
         assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.dropped_total(), 0);
+        assert_eq!(s.duplicated_total(), 0);
+        assert_eq!(s.jitter_cycles(), 0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_per_kind() {
+        let s = NetStats::new();
+        s.record_drop(MsgKind::RReq);
+        s.record_drop(MsgKind::RReq);
+        s.record_duplicate(MsgKind::Diff);
+        s.record_jitter(100);
+        s.record_jitter(23);
+        assert_eq!(s.dropped(MsgKind::RReq), 2);
+        assert_eq!(s.dropped(MsgKind::Diff), 0);
+        assert_eq!(s.dropped_total(), 2);
+        assert_eq!(s.duplicated(MsgKind::Diff), 1);
+        assert_eq!(s.duplicated_total(), 1);
+        assert_eq!(s.jitter_cycles(), 123);
+        let shown = s.to_string();
+        assert!(shown.contains("faults: 2 dropped, 1 duplicated, 123 jitter cycles"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Protocol configuration.
 
+use crate::transport::RetryPolicy;
 use mgs_sim::CostModel;
 use mgs_vm::PageGeometry;
 
@@ -60,6 +61,10 @@ pub struct ProtoConfig {
     /// such drift. The paper's protocol (eager invalidation, the
     /// default) is unaffected.
     pub lazy_read_invalidation: bool,
+    /// Timeout/retransmission policy used when the fabric is allowed to
+    /// drop messages (see [`RetryPolicy`]). Irrelevant — never consulted
+    /// — on a perfect fabric, where every transmission is delivered.
+    pub retry: RetryPolicy,
 }
 
 impl ProtoConfig {
@@ -82,6 +87,7 @@ impl ProtoConfig {
             single_writer_opt: true,
             readonly_clean_opt: false,
             lazy_read_invalidation: false,
+            retry: RetryPolicy::lan_default(),
         }
     }
 

@@ -21,6 +21,17 @@
 //! charge simulated clocks while unit tests use a deterministic
 //! recorder.
 //!
+//! ## Unreliable fabrics
+//!
+//! The paper assumes the LAN delivers every message exactly once. When
+//! the runtime attaches a fault plan (`mgs_net::FaultPlan`), the
+//! protocol recovers through the [`transport`-module ARQ
+//! scheme](crate::RetryPolicy): timed-out messages are retransmitted
+//! with exponential backoff, sequence numbers make every remote handler
+//! idempotent under duplicates ([`SeqFilter`]), and a transaction whose
+//! retry budget is exhausted surfaces a typed [`ProtocolError`] through
+//! the `try_*` entry points instead of wedging the machine.
+//!
 //! ## Table 1 erratum
 //!
 //! Table 1's arc 23 clears both directories (`read_dir = write_dir = φ`)
@@ -32,7 +43,7 @@
 //! `write_dir = {writer}` after a single-writer release, which is the
 //! only reading consistent with the prose of §3.1.1.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod config;
@@ -42,6 +53,7 @@ mod protocol;
 mod state;
 mod stats;
 mod timing;
+mod transport;
 
 pub use config::ProtoConfig;
 pub use diff::PageDiff;
@@ -50,3 +62,4 @@ pub use protocol::MgsProtocol;
 pub use state::{ClientState, ServerDirs};
 pub use stats::ProtoStats;
 pub use timing::{ProtoTiming, RecordingTiming, TimingEvent};
+pub use transport::{ProtocolError, RetryPolicy, SendOutcome, SeqFilter, Transaction};

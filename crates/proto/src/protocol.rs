@@ -13,12 +13,14 @@
 //! requests): the per-page server mutex serializes whole transactions.
 
 use crate::state::{bits, ClientPage, ClientState, PageEntry, ServerDirs, ServerPage};
+use crate::transport::{ProtocolError, SendOutcome, SeqFilter, Transaction};
 use crate::{Duq, PageDiff, ProtoConfig, ProtoStats, ProtoTiming};
 use mgs_cache::SsmpCacheSystem;
 use mgs_net::MsgKind;
 use mgs_vm::{FrameAllocator, Tlb, TlbEntry};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const PAGE_SHARDS: usize = 32;
@@ -85,6 +87,12 @@ pub struct MgsProtocol {
     /// processor may not proceed past its acquire point until pending
     /// invalidations have been performed, not merely claimed).
     notices: Vec<NoticeBoard>,
+    /// Per-SSMP sequence-number allocators for outbound inter-SSMP
+    /// messages (the send half of the exactly-once transport).
+    send_seq: Vec<AtomicU64>,
+    /// Per-SSMP receive filters discarding duplicate deliveries (the
+    /// receive half; see [`SeqFilter`]).
+    seq_filters: Vec<SeqFilter>,
     stats: ProtoStats,
 }
 
@@ -129,6 +137,8 @@ impl MgsProtocol {
                 .collect(),
             home_overrides: Mutex::new(HashMap::new()),
             notices: (0..n_ssmps).map(|_| NoticeBoard::default()).collect(),
+            send_seq: (0..n_ssmps).map(|_| AtomicU64::new(0)).collect(),
+            seq_filters: (0..n_ssmps).map(|_| SeqFilter::new(n_ssmps)).collect(),
             stats: ProtoStats::new(),
         }
     }
@@ -227,12 +237,92 @@ impl MgsProtocol {
     }
 
     // ------------------------------------------------------------------
+    // Reliable transport (ARQ over the possibly-faulty fabric)
+    // ------------------------------------------------------------------
+
+    /// Sends one protocol message with exactly-once semantics: the
+    /// transmission is retried with exponential backoff while the fabric
+    /// drops it (at-least-once), and the receiving SSMP's [`SeqFilter`]
+    /// discards fabric-injected duplicate copies (at-most-once).
+    ///
+    /// Intra-SSMP messages (`from == to`) never touch the LAN and are
+    /// delivered directly. When the retry budget is exhausted the
+    /// transaction identified by `page`/`kind` aborts with
+    /// [`ProtocolError::RetriesExhausted`].
+    fn reliable(
+        &self,
+        t: &mut dyn ProtoTiming,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        payload_bytes: u64,
+        page: u64,
+    ) -> Result<(), ProtocolError> {
+        if from == to {
+            t.message(from, to, kind, payload_bytes);
+            return Ok(());
+        }
+        // Sequence numbers start at 1 (the filter reserves 0 for
+        // "nothing seen yet").
+        let seq = self.send_seq[from].fetch_add(1, Ordering::Relaxed) + 1;
+        let policy = &self.cfg.retry;
+        let mut attempt = 0u32;
+        loop {
+            match t.try_message(from, to, kind, payload_bytes) {
+                SendOutcome::Delivered { duplicates } => {
+                    // The first delivery of a fresh sequence number is
+                    // accepted (ignoring the result also tolerates the
+                    // filter's conservative out-of-window rejection).
+                    let _ = self.seq_filters[to].accept(from, seq);
+                    // Fabric duplicates replay the same sequence number
+                    // and are discarded by the filter: the handler's
+                    // state mutation happens exactly once. Discarding
+                    // costs the receiver a handler dispatch that is
+                    // negligible next to any crossing, so no simulated
+                    // time is charged.
+                    for _ in 0..duplicates {
+                        if !self.seq_filters[to].accept(from, seq) {
+                            self.stats.dup_rejects.incr();
+                        }
+                    }
+                    return Ok(());
+                }
+                SendOutcome::Dropped => {
+                    if attempt >= policy.max_retries {
+                        self.stats.xact_failures.incr();
+                        return Err(ProtocolError::RetriesExhausted {
+                            txn: Transaction {
+                                page,
+                                kind,
+                                from,
+                                to,
+                            },
+                            attempts: attempt + 1,
+                        });
+                    }
+                    t.retry_wait(from, to, kind, attempt, policy.timeout_for(attempt));
+                    self.stats.retries.incr();
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Fault handling (Local Client)
     // ------------------------------------------------------------------
 
     /// Handles a TLB fault by global processor `proc` on `page`
     /// (`RTLBFault` / `WTLBFault` of Table 1). Installs and returns the
     /// new TLB entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric stays unusable past the retry budget (see
+    /// [`try_fault`](MgsProtocol::try_fault) for the non-panicking
+    /// variant). Unreachable on a perfect fabric; at a 1% drop rate the
+    /// default [`RetryPolicy`](crate::RetryPolicy) makes the
+    /// probability per message ≈ 10⁻³⁴.
     pub fn fault(
         &self,
         proc: usize,
@@ -240,6 +330,25 @@ impl MgsProtocol {
         want_write: bool,
         t: &mut dyn ProtoTiming,
     ) -> TlbEntry {
+        self.try_fault(proc, page, want_write, t)
+            .unwrap_or_else(|e| panic!("unrecoverable MGS protocol failure: {e}"))
+    }
+
+    /// [`fault`](MgsProtocol::fault), surfacing transport failure as a
+    /// typed [`ProtocolError`] instead of panicking.
+    ///
+    /// On error the transaction is aborted with no locks held and the
+    /// rest of the machine keeps running, but the aborted transaction's
+    /// page may be left mid-transfer (e.g. a requested copy that never
+    /// arrived): the caller should treat the computation's memory image
+    /// as unreliable and restart or discard the run.
+    pub fn try_fault(
+        &self,
+        proc: usize,
+        page: u64,
+        want_write: bool,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<TlbEntry, ProtocolError> {
         let ssmp = self.cfg.ssmp_of(proc);
         let entry = self.page_entry(page);
         t.local(self.cfg.cost.fault_entry);
@@ -269,13 +378,13 @@ impl MgsProtocol {
                 // Arc 1 (read) / arcs 3,4 (write on WRITE page): a local
                 // mapping exists; fill the TLB.
                 (ClientState::Write, _) | (ClientState::Read, false) => {
-                    return self.map_local(proc, page, want_write, &mut client, t);
+                    return Ok(self.map_local(proc, page, want_write, &mut client, t));
                 }
                 // Arc 2: write fault on a READ page — upgrade.
                 (ClientState::Read, true) => {
                     drop(client);
-                    if let Some(e) = self.upgrade(&entry, proc, page, t) {
-                        return e;
+                    if let Some(e) = self.upgrade(&entry, proc, page, t)? {
+                        return Ok(e);
                     }
                     // Raced with an invalidation; retry from the top.
                     continue;
@@ -323,7 +432,7 @@ impl MgsProtocol {
     }
 
     /// Arcs 2, 13 and the server's WNOTIFY handling (arc 18): upgrade a
-    /// READ page to WRITE privilege. Returns `None` if the page was
+    /// READ page to WRITE privilege. Returns `Ok(None)` if the page was
     /// invalidated while the locks were reacquired (the caller
     /// retries); re-checks under the canonical server-then-client lock
     /// order.
@@ -333,7 +442,7 @@ impl MgsProtocol {
         proc: usize,
         page: u64,
         t: &mut dyn ProtoTiming,
-    ) -> Option<TlbEntry> {
+    ) -> Result<Option<TlbEntry>, ProtocolError> {
         let ssmp = self.cfg.ssmp_of(proc);
         let lidx = self.cfg.local_index(proc);
         let home_node = self.home_node(page);
@@ -386,7 +495,14 @@ impl MgsProtocol {
                 client.state = ClientState::Write;
                 // Arc 13: UP_ACK ⇒ src, WNOTIFY ⇒ g_home.
                 t.message(ssmp, ssmp, MsgKind::UpAck, 0);
-                t.message(ssmp, home_ssmp, MsgKind::WNotify, 0);
+                if let Err(e) = self.reliable(t, ssmp, home_ssmp, MsgKind::WNotify, 0, page) {
+                    // The server never learned of the write privilege;
+                    // keeping it would lose this SSMP's updates at the
+                    // next release. Roll the client back to READ.
+                    client.state = ClientState::Read;
+                    client.twin = None;
+                    return Err(e);
+                }
                 // Arc 18 (server): read_dir −= {src}, write_dir ∪= {src}.
                 t.node_work(home_node, cost.server_wnotify);
                 server.dirs.read_dir &= !(1 << ssmp);
@@ -405,29 +521,41 @@ impl MgsProtocol {
                 };
                 self.tlbs[proc].insert(page, e.clone());
                 self.stats.upgrades.incr();
-                Some(e)
+                Ok(Some(e))
             }
             // Another local processor upgraded first: just map.
-            ClientState::Write => Some(self.map_local(proc, page, true, &mut client, t)),
+            ClientState::Write => Ok(Some(self.map_local(proc, page, true, &mut client, t))),
             // Invalidated in the window: fall through to a fill under
             // the already-held server lock.
             ClientState::Inv => {
                 if client.pending {
                     // Only reachable if a concurrent fill is in flight;
                     // retry through the main loop.
-                    return None;
+                    return Ok(None);
                 }
                 client.pending = true;
                 drop(client);
                 t.local(cost.lc_miss_setup);
-                Some(self.fill(entry, &mut server, proc, page, true, t))
+                Ok(Some(self.fill(entry, &mut server, proc, page, true, t)?))
             }
         }
     }
 
+    /// Clears a client's `pending` flag after an aborted fill and wakes
+    /// any local processors waiting on it, so a transport failure never
+    /// wedges the sibling faulters of the same page.
+    fn abort_fill(&self, entry: &PageEntry, ssmp: usize, t: &dyn ProtoTiming) {
+        let (lock, cond) = &entry.clients[ssmp];
+        let mut client = lock.lock();
+        client.installed_at = t.now();
+        client.pending = false;
+        cond.notify_all();
+    }
+
     /// Arcs 5 → 17/18/19 → 6/7: request a page copy from the home and
     /// install it. Called with the server mutex held and the client's
-    /// `pending` flag set.
+    /// `pending` flag set; on error the flag is cleared before the error
+    /// propagates (waiting siblings re-fault and retry for themselves).
     fn fill(
         &self,
         entry: &PageEntry,
@@ -436,7 +564,7 @@ impl MgsProtocol {
         page: u64,
         want_write: bool,
         t: &mut dyn ProtoTiming,
-    ) -> TlbEntry {
+    ) -> Result<TlbEntry, ProtocolError> {
         let ssmp = self.cfg.ssmp_of(proc);
         let lidx = self.cfg.local_index(proc);
         let home_node = self.home_node(page);
@@ -451,7 +579,10 @@ impl MgsProtocol {
         } else {
             (MsgKind::RReq, MsgKind::RDat, cost.server_read)
         };
-        t.message(ssmp, home_ssmp, req, 0);
+        if let Err(e) = self.reliable(t, ssmp, home_ssmp, req, 0, page) {
+            self.abort_fill(entry, ssmp, t);
+            return Err(e);
+        }
         t.node_work(home_node, service);
 
         let (frame, arrived) = if at_home {
@@ -467,7 +598,17 @@ impl MgsProtocol {
             t.node_work(home_node, SsmpCacheSystem::clean_cost(clean, cost));
             let data = server.home_frame.snapshot();
             t.node_work(home_node, cost.page_dma_cost(words));
-            t.message(home_ssmp, ssmp, dat, self.cfg.geometry.page_bytes());
+            if let Err(e) = self.reliable(
+                t,
+                home_ssmp,
+                ssmp,
+                dat,
+                self.cfg.geometry.page_bytes(),
+                page,
+            ) {
+                self.abort_fill(entry, ssmp, t);
+                return Err(e);
+            }
             // First-touch placement: the new frame lives in the
             // faulting processor's memory (§3.1.2).
             let frame = self.frames.alloc(proc);
@@ -525,7 +666,7 @@ impl MgsProtocol {
         } else {
             self.stats.read_misses.incr();
         }
-        e
+        Ok(e)
     }
 
     // ------------------------------------------------------------------
@@ -535,20 +676,63 @@ impl MgsProtocol {
     /// Performs a release operation for global processor `proc`: flushes
     /// every page on its delayed update queue (arcs 8–10). Called by
     /// the synchronization library at lock releases and barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on transport failure, like [`fault`](MgsProtocol::fault);
+    /// see [`try_release_all`](MgsProtocol::try_release_all).
     pub fn release_all(&self, proc: usize, t: &mut dyn ProtoTiming) {
+        self.try_release_all(proc, t)
+            .unwrap_or_else(|e| panic!("unrecoverable MGS protocol failure: {e}"))
+    }
+
+    /// [`release_all`](MgsProtocol::release_all), surfacing transport
+    /// failure as a typed [`ProtocolError`].
+    ///
+    /// On error the release is aborted: the failing page and any DUQ
+    /// entries not yet flushed are dropped, so the released updates are
+    /// no longer guaranteed to have reached their home copies — the run
+    /// should be discarded. No locks are held and directory state stays
+    /// conservative (stale entries are re-invalidated and self-heal on
+    /// the next release of the same page).
+    pub fn try_release_all(
+        &self,
+        proc: usize,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
         let pages = self.duqs[proc].drain();
         if pages.is_empty() {
-            return;
+            return Ok(());
         }
         self.stats.releases.incr();
         for page in pages {
-            self.release_page(proc, page, t);
+            self.try_release_page(proc, page, t)?;
         }
+        Ok(())
+    }
+
+    /// Releases a single page (see
+    /// [`try_release_page`](MgsProtocol::try_release_page)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on transport failure, like [`fault`](MgsProtocol::fault).
+    pub fn release_page(&self, proc: usize, page: u64, t: &mut dyn ProtoTiming) {
+        self.try_release_page(proc, page, t)
+            .unwrap_or_else(|e| panic!("unrecoverable MGS protocol failure: {e}"))
     }
 
     /// Releases a single page: REL ⇒ g_home, invalidation fan-out, diff
-    /// merging, RACK (arcs 8, 20–23, 9).
-    pub fn release_page(&self, proc: usize, page: u64, t: &mut dyn ProtoTiming) {
+    /// merging, RACK (arcs 8, 20–23, 9). Surfaces transport failure as
+    /// a typed [`ProtocolError`] (see
+    /// [`try_release_all`](MgsProtocol::try_release_all) for the
+    /// recovery contract).
+    pub fn try_release_page(
+        &self,
+        proc: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
         let ssmp = self.cfg.ssmp_of(proc);
         let entry = self.page_entry(page);
         let home_node = self.home_node(page);
@@ -557,7 +741,7 @@ impl MgsProtocol {
 
         t.local(cost.rel_entry);
         let mut server = entry.server.lock();
-        t.message(ssmp, home_ssmp, MsgKind::Rel, 0);
+        self.reliable(t, ssmp, home_ssmp, MsgKind::Rel, 0, page)?;
         t.node_work(home_node, cost.server_rel);
         self.stats.pages_released.incr();
 
@@ -568,12 +752,12 @@ impl MgsProtocol {
             let writer = dirs.write_dir.trailing_zeros() as usize;
             for reader in bits(dirs.read_dir) {
                 if self.cfg.lazy_read_invalidation {
-                    self.post_notice(reader, page, home_ssmp, t);
+                    self.post_notice(reader, page, home_ssmp, t)?;
                 } else {
-                    self.invalidate_client(&entry, &mut server, reader, page, false, t);
+                    self.invalidate_client(&entry, &mut server, reader, page, false, t)?;
                 }
             }
-            self.single_writer_flush(&entry, &mut server, writer, page, t);
+            self.single_writer_flush(&entry, &mut server, writer, page, t)?;
             server.dirs = ServerDirs {
                 read_dir: 0,
                 // Table 1 erratum (see crate docs): the writer keeps its
@@ -595,9 +779,9 @@ impl MgsProtocol {
             for s in bits(dirs.all()) {
                 let is_writer = dirs.write_dir & (1 << s) != 0;
                 if !is_writer && self.cfg.lazy_read_invalidation {
-                    self.post_notice(s, page, home_ssmp, t);
+                    self.post_notice(s, page, home_ssmp, t)?;
                 } else {
-                    self.invalidate_client(&entry, &mut server, s, page, is_writer, t);
+                    self.invalidate_client(&entry, &mut server, s, page, is_writer, t)?;
                 }
             }
             server.dirs = ServerDirs::default();
@@ -605,8 +789,9 @@ impl MgsProtocol {
 
         // Arc 23: merge complete; acknowledge the releaser.
         t.node_work(home_node, cost.server_merge);
-        t.message(home_ssmp, ssmp, MsgKind::RAck, 0);
+        self.reliable(t, home_ssmp, ssmp, MsgKind::RAck, 0, page)?;
         t.local(cost.rel_finish);
+        Ok(())
     }
 
     /// Arc 14 (INV) at one client SSMP: PINV fan-out, page cleaning,
@@ -619,7 +804,7 @@ impl MgsProtocol {
         page: u64,
         is_writer: bool,
         t: &mut dyn ProtoTiming,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let home_node = self.home_node(page);
         let home_ssmp = self.cfg.ssmp_of(home_node);
         let cost = &self.cfg.cost;
@@ -629,12 +814,12 @@ impl MgsProtocol {
         let mut client = lock.lock();
         debug_assert!(!client.pending, "fills are serialized by the server lock");
         if client.state == ClientState::Inv {
-            return;
+            return Ok(());
         }
         let frame = client.frame.clone().expect("copy present");
         self.stats.invalidations.incr();
 
-        t.message(home_ssmp, ssmp, MsgKind::Inv, 0);
+        self.reliable(t, home_ssmp, ssmp, MsgKind::Inv, 0, page)?;
         let rc_node = frame.home_node();
         t.node_work(rc_node, cost.rc_entry);
 
@@ -671,7 +856,7 @@ impl MgsProtocol {
             t.node_work(rc_node, cost.diff_compute_cost(words));
             let diff = PageDiff::compute_from_frame(&frame, &twin);
             let changed = diff.len() as u64;
-            t.message(ssmp, home_ssmp, MsgKind::Diff, changed * 8);
+            self.reliable(t, ssmp, home_ssmp, MsgKind::Diff, changed * 8, page)?;
             t.node_work(home_node, cost.diff_transfer_apply_cost(changed));
             diff.apply_to_frame(&server.home_frame);
             self.mark_home_merge(server, &diff, home_node, home_ssmp);
@@ -681,12 +866,13 @@ impl MgsProtocol {
             // Arc 14 (READ) → 16 (tt == 1): clean page, ACK ⇒ g_home.
             // Home-SSMP writers also land here: their stores went
             // directly to the home copy, so cleaning suffices.
-            t.message(ssmp, home_ssmp, MsgKind::Ack, 0);
+            self.reliable(t, ssmp, home_ssmp, MsgKind::Ack, 0, page)?;
         }
 
         client.state = ClientState::Inv;
         client.frame = None;
         client.twin = None;
+        Ok(())
     }
 
     /// Arc 14/16 with `tt == 3`: the single-writer optimization. The
@@ -699,7 +885,7 @@ impl MgsProtocol {
         ssmp: usize,
         page: u64,
         t: &mut dyn ProtoTiming,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let home_node = self.home_node(page);
         let home_ssmp = self.cfg.ssmp_of(home_node);
         let cost = &self.cfg.cost;
@@ -711,7 +897,7 @@ impl MgsProtocol {
         let frame = client.frame.clone().expect("writer has a frame");
         self.stats.single_writer_flushes.incr();
 
-        t.message(home_ssmp, ssmp, MsgKind::OneWInv, 0);
+        self.reliable(t, home_ssmp, ssmp, MsgKind::OneWInv, 0, page)?;
         let rc_node = frame.home_node();
         t.node_work(rc_node, cost.rc_entry);
 
@@ -733,12 +919,14 @@ impl MgsProtocol {
             // communication bandwidth" (§3.1.1).
             let data = frame.snapshot();
             t.node_work(rc_node, cost.page_dma_cost(words));
-            t.message(
+            self.reliable(
+                t,
                 ssmp,
                 home_ssmp,
                 MsgKind::OneWData,
                 self.cfg.geometry.page_bytes(),
-            );
+                page,
+            )?;
             // The home cleans its own copy before overwriting it.
             let hclean = self.caches[home_ssmp]
                 .directory()
@@ -756,6 +944,7 @@ impl MgsProtocol {
         }
         // The read-write copy remains cached (state stays WRITE); only
         // the mappings are gone, so local re-use costs one TLB fill.
+        Ok(())
     }
 
     /// Is a lazy write notice pending (or possibly being drained right
@@ -769,12 +958,21 @@ impl MgsProtocol {
 
     /// Lazy read invalidation: post a write notice to a reader SSMP
     /// instead of invalidating its copy on the releaser's critical path.
-    /// The releaser pays one (unacknowledged) message; the reader drops
-    /// the copy at its next acquire point.
-    fn post_notice(&self, ssmp: usize, page: u64, home_ssmp: usize, t: &mut dyn ProtoTiming) {
-        t.message(home_ssmp, ssmp, MsgKind::Inv, 0);
+    /// The releaser pays one message; the reader drops the copy at its
+    /// next acquire point. The notice is unacknowledged at the protocol
+    /// level but still sent reliably — a silently lost notice would
+    /// leave the reader's stale copy live forever.
+    fn post_notice(
+        &self,
+        ssmp: usize,
+        page: u64,
+        home_ssmp: usize,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        self.reliable(t, home_ssmp, ssmp, MsgKind::Inv, 0, page)?;
         self.notices[ssmp].state.lock().queue.push(page);
         self.stats.lazy_notices.incr();
+        Ok(())
     }
 
     /// Acquire-side coherence for lazy read invalidation: drops every

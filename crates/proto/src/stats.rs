@@ -32,6 +32,12 @@ pub struct ProtoStats {
     pub pinvs: Counter,
     /// Write notices posted under lazy read invalidation.
     pub lazy_notices: Counter,
+    /// Retransmissions after a fabric-dropped message timed out.
+    pub retries: Counter,
+    /// Duplicate message copies discarded by the sequence filter.
+    pub dup_rejects: Counter,
+    /// Transactions aborted after exhausting their retry budget.
+    pub xact_failures: Counter,
 }
 
 impl ProtoStats {
@@ -54,6 +60,9 @@ impl ProtoStats {
         self.invalidations.reset();
         self.pinvs.reset();
         self.lazy_notices.reset();
+        self.retries.reset();
+        self.dup_rejects.reset();
+        self.xact_failures.reset();
     }
 }
 
@@ -74,7 +83,19 @@ impl fmt::Display for ProtoStats {
             self.diff_words,
             self.invalidations,
             self.pinvs
-        )
+        )?;
+        let (retries, dups, fails) = (
+            self.retries.get(),
+            self.dup_rejects.get(),
+            self.xact_failures.get(),
+        );
+        if retries + dups + fails > 0 {
+            write!(
+                f,
+                "\nrecovery: retries={retries} dup_rejects={dups} xact_failures={fails}"
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,7 +1,9 @@
 //! Timing abstraction between the protocol and its runtime.
 
-use mgs_net::MsgKind;
+use crate::transport::SendOutcome;
+use mgs_net::{Fate, FaultPlan, MsgKind};
 use mgs_sim::{CostModel, Cycles};
+use std::collections::HashMap;
 
 /// How the protocol reports simulated time as its transactions execute.
 ///
@@ -30,6 +32,33 @@ pub trait ProtoTiming {
     /// The transaction had to wait (e.g. for a fill by another local
     /// processor) until `instant`.
     fn wait_until(&mut self, instant: Cycles);
+
+    /// Attempts one transmission of a protocol message over a possibly
+    /// unreliable fabric and reports whether it arrived.
+    ///
+    /// The default implementation models the paper's perfect LAN: it
+    /// forwards to [`message`](ProtoTiming::message) and always reports
+    /// [`SendOutcome::Delivered`] with no duplicates. Runtimes that
+    /// attach a [`FaultPlan`](mgs_net::FaultPlan) override this to
+    /// consult the fabric's fate for the transmission.
+    fn try_message(
+        &mut self,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        payload_bytes: u64,
+    ) -> SendOutcome {
+        self.message(from, to, kind, payload_bytes);
+        SendOutcome::Delivered { duplicates: 0 }
+    }
+
+    /// The requester timed out waiting for the `attempt`-th (0-based)
+    /// transmission of a message and waited `wait` cycles before
+    /// retransmitting. The default charges the wait as local time.
+    fn retry_wait(&mut self, from: usize, to: usize, kind: MsgKind, attempt: u32, wait: Cycles) {
+        let _ = (from, to, kind, attempt);
+        self.local(wait);
+    }
 
     /// The calling thread is about to block on real synchronization
     /// (lets a time governor exclude it from window advancement).
@@ -64,6 +93,22 @@ pub enum TimingEvent {
     },
     /// A wait until an instant.
     WaitUntil(Cycles),
+    /// A transmission lost by the injected-fault fabric.
+    Dropped {
+        /// Sending SSMP.
+        from: usize,
+        /// Receiving SSMP.
+        to: usize,
+        /// Protocol message kind.
+        kind: MsgKind,
+    },
+    /// A timeout wait before a retransmission.
+    Retry {
+        /// 0-based index of the transmission that was lost.
+        attempt: u32,
+        /// Backoff wait charged before retransmitting.
+        wait: Cycles,
+    },
 }
 
 /// A deterministic [`ProtoTiming`] for tests and micro-measurements.
@@ -92,6 +137,8 @@ pub struct RecordingTiming {
     ext_latency: Cycles,
     clock: Cycles,
     events: Vec<TimingEvent>,
+    plan: Option<FaultPlan>,
+    seq: HashMap<(usize, usize, MsgKind), u64>,
 }
 
 impl RecordingTiming {
@@ -103,7 +150,45 @@ impl RecordingTiming {
             ext_latency,
             clock: Cycles::ZERO,
             events: Vec::new(),
+            plan: None,
+            seq: HashMap::new(),
         }
+    }
+
+    /// Attaches a seeded [`FaultPlan`] so that
+    /// [`try_message`](ProtoTiming::try_message) consults the plan's
+    /// deterministic fate stream, exactly like the runtime LAN does.
+    /// Inactive plans are discarded.
+    ///
+    /// This is how the protocol's retry path is exercised in isolation:
+    ///
+    /// ```
+    /// use mgs_net::{FaultPlan, MsgKind};
+    /// use mgs_proto::{ProtoTiming, RecordingTiming, SendOutcome, TimingEvent};
+    /// use mgs_sim::{CostModel, Cycles};
+    ///
+    /// // Fabric that loses every other message on average.
+    /// let plan = FaultPlan::uniform(7, 0.5, 0.0, Cycles::ZERO);
+    /// let mut t =
+    ///     RecordingTiming::new(CostModel::alewife(), Cycles(1000)).with_faults(plan);
+    ///
+    /// // Retransmit until the fabric lets one through, as the
+    /// // protocol's reliable-send loop does.
+    /// let mut attempt = 0;
+    /// while t.try_message(0, 1, MsgKind::RReq, 0) == SendOutcome::Dropped {
+    ///     t.retry_wait(0, 1, MsgKind::RReq, attempt, Cycles(4000));
+    ///     attempt += 1;
+    /// }
+    /// let drops = t
+    ///     .events()
+    ///     .iter()
+    ///     .filter(|e| matches!(e, TimingEvent::Dropped { .. }))
+    ///     .count();
+    /// assert_eq!(drops, attempt as usize);
+    /// ```
+    pub fn with_faults(mut self, plan: FaultPlan) -> RecordingTiming {
+        self.plan = if plan.is_active() { Some(plan) } else { None };
+        self
     }
 
     /// Everything recorded so far, in order.
@@ -116,10 +201,12 @@ impl RecordingTiming {
         self.clock
     }
 
-    /// Clears the clock and the event log.
+    /// Clears the clock, the event log and the per-channel fault
+    /// streams (an attached [`FaultPlan`] replays from the start).
     pub fn reset(&mut self) {
         self.clock = Cycles::ZERO;
         self.events.clear();
+        self.seq.clear();
     }
 
     /// Number of inter-SSMP crossings recorded.
@@ -163,6 +250,47 @@ impl ProtoTiming for RecordingTiming {
     fn wait_until(&mut self, instant: Cycles) {
         self.clock = self.clock.max(instant);
         self.events.push(TimingEvent::WaitUntil(instant));
+    }
+
+    fn try_message(
+        &mut self,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        payload_bytes: u64,
+    ) -> SendOutcome {
+        let Some(plan) = &self.plan else {
+            self.message(from, to, kind, payload_bytes);
+            return SendOutcome::Delivered { duplicates: 0 };
+        };
+        if from == to {
+            // Intra-SSMP messages never touch the LAN fabric.
+            self.message(from, to, kind, payload_bytes);
+            return SendOutcome::Delivered { duplicates: 0 };
+        }
+        let n = self.seq.entry((from, to, kind)).or_insert(0);
+        let fate = plan.fate(from, to, kind, *n);
+        *n += 1;
+        match fate {
+            Fate::Drop => {
+                // The sender still spends its launch cost before the
+                // fabric loses the message.
+                self.clock += self.cost.msg_send;
+                self.events.push(TimingEvent::Dropped { from, to, kind });
+                SendOutcome::Dropped
+            }
+            Fate::Deliver { jitter, duplicates } => {
+                self.message(from, to, kind, payload_bytes);
+                self.clock += jitter;
+                SendOutcome::Delivered { duplicates }
+            }
+        }
+    }
+
+    fn retry_wait(&mut self, from: usize, to: usize, kind: MsgKind, attempt: u32, wait: Cycles) {
+        let _ = (from, to, kind);
+        self.clock += wait;
+        self.events.push(TimingEvent::Retry { attempt, wait });
     }
 }
 
@@ -213,5 +341,83 @@ mod tests {
         t.reset();
         assert_eq!(t.elapsed(), Cycles::ZERO);
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn default_try_message_is_a_perfect_fabric() {
+        let cm = CostModel::alewife();
+        let mut t = RecordingTiming::new(cm.clone(), Cycles(1000));
+        let out = t.try_message(0, 1, MsgKind::RReq, 0);
+        assert_eq!(out, SendOutcome::Delivered { duplicates: 0 });
+        assert_eq!(t.elapsed(), cm.crossing(Cycles(1000)));
+    }
+
+    #[test]
+    fn inactive_plan_matches_perfect_fabric() {
+        let cm = CostModel::alewife();
+        let mut a = RecordingTiming::new(cm.clone(), Cycles(1000));
+        let mut b = RecordingTiming::new(cm, Cycles(1000)).with_faults(FaultPlan::none());
+        a.try_message(0, 1, MsgKind::WReq, 64);
+        b.try_message(0, 1, MsgKind::WReq, 64);
+        assert_eq!(a.elapsed(), b.elapsed());
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn faulty_recorder_replays_identically_for_a_seed() {
+        let plan = FaultPlan::uniform(3, 0.3, 0.2, Cycles(50));
+        let run = || {
+            let mut t =
+                RecordingTiming::new(CostModel::alewife(), Cycles(1000)).with_faults(plan.clone());
+            let outcomes: Vec<SendOutcome> = (0..64)
+                .map(|_| t.try_message(0, 1, MsgKind::WReq, 16))
+                .collect();
+            (outcomes, t.elapsed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dropped_transmissions_charge_only_the_send_cost() {
+        let cm = CostModel::alewife();
+        // Full loss is rejected by validate(); near-certain loss is not.
+        let plan = FaultPlan::uniform(1, 0.999_999, 0.0, Cycles::ZERO);
+        let mut t = RecordingTiming::new(cm.clone(), Cycles(1000)).with_faults(plan);
+        assert_eq!(t.try_message(0, 1, MsgKind::RReq, 0), SendOutcome::Dropped);
+        assert_eq!(t.elapsed(), cm.msg_send);
+        assert_eq!(
+            t.events(),
+            &[TimingEvent::Dropped {
+                from: 0,
+                to: 1,
+                kind: MsgKind::RReq
+            }]
+        );
+    }
+
+    #[test]
+    fn intra_ssmp_try_message_bypasses_faults() {
+        let cm = CostModel::alewife();
+        let plan = FaultPlan::uniform(1, 0.999_999, 0.0, Cycles::ZERO);
+        let mut t = RecordingTiming::new(cm.clone(), Cycles(1000)).with_faults(plan);
+        assert_eq!(
+            t.try_message(2, 2, MsgKind::Upgrade, 0),
+            SendOutcome::Delivered { duplicates: 0 }
+        );
+        assert_eq!(t.elapsed(), cm.intra_msg);
+    }
+
+    #[test]
+    fn retry_wait_charges_and_records() {
+        let mut t = RecordingTiming::new(CostModel::alewife(), Cycles::ZERO);
+        t.retry_wait(0, 1, MsgKind::RReq, 2, Cycles(16_000));
+        assert_eq!(t.elapsed(), Cycles(16_000));
+        assert_eq!(
+            t.events(),
+            &[TimingEvent::Retry {
+                attempt: 2,
+                wait: Cycles(16_000)
+            }]
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! cargo run --release --example protocol_trace
 //! ```
 
+use mgs_repro::net::FaultPlan;
 use mgs_repro::proto::{MgsProtocol, ProtoConfig, RecordingTiming, TimingEvent};
 use mgs_repro::sim::Cycles;
 
@@ -30,6 +31,12 @@ fn print_trace(title: &str, t: &RecordingTiming) {
                 println!("   handler at node {node:<2}       {:>6}", cycles.raw())
             }
             TimingEvent::WaitUntil(c) => println!("   wait until t = {}", c.raw()),
+            TimingEvent::Dropped { from, to, kind } => {
+                println!("   {kind:<12} SSMP {from} -> SSMP {to} DROPPED")
+            }
+            TimingEvent::Retry { attempt, wait } => {
+                println!("   retry #{attempt} after {:>6}-cycle timeout", wait.raw())
+            }
         }
     }
 }
@@ -57,5 +64,20 @@ fn main() {
 
     assert_eq!(proto.home_frame(0).load(3), 42);
     println!("\nThe home copy now holds the released value (42).");
+
+    // The same read miss on an unreliable fabric: a seeded 40%-loss
+    // plan drops transmissions, the retry layer times out, backs off
+    // and retransmits until the transaction completes.
+    let lossy = MgsProtocol::new(ProtoConfig::new(2, 2));
+    let mut t = RecordingTiming::new(cost, Cycles::ZERO).with_faults(FaultPlan::uniform(
+        9,
+        0.4,
+        0.0,
+        Cycles::ZERO,
+    ));
+    lossy.fault(2, 0, false, &mut t);
+    print_trace("inter-SSMP read miss, 40% message loss", &t);
+
     println!("\nProtocol statistics:\n{}", proto.stats());
+    println!("\nLossy-run statistics:\n{}", lossy.stats());
 }

@@ -1,0 +1,150 @@
+//! Fault-injection integration tests: full machines on a lossy LAN.
+//!
+//! Two guarantees, end to end through the facade crate:
+//!
+//! * **transparency** — an *inactive* fault plan (drop rate 0) and a
+//!   duplicate-storm plan are bit-identical in cycle accounting to the
+//!   plain perfect-fabric machine, using the deterministic token-ring
+//!   workload (one active remote writer per barrier phase, governor
+//!   off — the envelope `determinism.rs` establishes);
+//! * **recovery** — every application of the suite completes on a
+//!   seeded 1%-drop fabric with duplication and delivery jitter, at
+//!   every cluster size, and its self-verification (numerical result
+//!   against a plain-Rust reference) passes: the memory image after
+//!   retransmission and deduplication equals the fault-free answer.
+
+use mgs_repro::apps::{
+    barnes::BarnesHut, jacobi::Jacobi, matmul::MatMul, tsp::Tsp, water::Water,
+    water_kernel::WaterKernel, MgsApp,
+};
+use mgs_repro::core::{
+    AccessKind, CostCategory, Cycles, DssmpConfig, FaultPlan, Machine, RunReport,
+};
+
+const SEED: u64 = 0x4D47_5343_4841_4F53;
+
+// ---------------------------------------------------------------------
+// Transparency: the ring workload from the chaos bench, in miniature.
+// ---------------------------------------------------------------------
+
+const RING_PROCS: usize = 4;
+const RING_WORDS: u64 = 256;
+
+/// In phase `k` only processor `k` writes its successor's self-homed
+/// block and reads it back; barriers separate phases. One active
+/// processor per phase serializes every cross-SSMP transaction, so the
+/// cycle accounting is deterministic.
+fn run_ring(cluster_size: usize, plan: FaultPlan) -> RunReport {
+    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size).with_faults(plan);
+    cfg.governor_window = None;
+    let machine = Machine::new(cfg);
+    let arr =
+        machine.alloc_array_blocked::<u64>(RING_WORDS * RING_PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..RING_PROCS {
+            if pid == phase {
+                let base = ((pid + 1) % RING_PROCS) as u64 * RING_WORDS;
+                for i in 0..RING_WORDS {
+                    arr.write(env, base + i, ((phase as u64) << 32) | i);
+                }
+                let mut acc = 0u64;
+                for i in 0..RING_WORDS {
+                    acc = acc.wrapping_add(arr.read(env, base + i));
+                }
+                std::hint::black_box(acc);
+            }
+            env.barrier();
+        }
+    })
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.duration.raw(), b.duration.raw(), "{what}: duration");
+    for cat in CostCategory::ALL {
+        assert_eq!(
+            a.breakdown.get(cat).raw(),
+            b.breakdown.get(cat).raw(),
+            "{what}: breakdown {}",
+            cat.label()
+        );
+    }
+    assert_eq!(a.lan_messages, b.lan_messages, "{what}: LAN messages");
+    assert_eq!(a.lan_bytes, b.lan_bytes, "{what}: LAN bytes");
+}
+
+#[test]
+fn drop_rate_zero_is_bit_identical_to_no_plan() {
+    for c in [1, 2] {
+        let baseline = run_ring(c, FaultPlan::none());
+        assert!(baseline.lan_messages > 0, "ring crosses SSMPs at C={c}");
+        let zero = run_ring(c, FaultPlan::uniform(SEED, 0.0, 0.0, Cycles::ZERO));
+        assert_identical(&baseline, &zero, &format!("drop-0 C={c}"));
+        assert_eq!(zero.lan_drops + zero.lan_duplicates + zero.retries, 0);
+    }
+}
+
+#[test]
+fn duplicate_storm_is_cycle_invisible() {
+    for c in [1, 2] {
+        let baseline = run_ring(c, FaultPlan::none());
+        let storm = run_ring(c, FaultPlan::uniform(SEED, 0.0, 1.0, Cycles::ZERO));
+        assert_identical(&baseline, &storm, &format!("dup-storm C={c}"));
+        assert!(
+            storm.lan_duplicates >= storm.lan_messages,
+            "every inter-SSMP message duplicated at C={c}"
+        );
+    }
+}
+
+#[test]
+fn lossy_ring_recovers_and_reports_faults() {
+    let lossy = run_ring(1, FaultPlan::uniform(SEED, 0.05, 0.05, Cycles(200)));
+    assert!(lossy.lan_drops > 0, "5% loss must drop something");
+    assert_eq!(lossy.retries, lossy.lan_drops, "every drop retried once");
+    // Recovery time is charged to the MGS category.
+    assert!(lossy.breakdown.get(CostCategory::Mgs).raw() > 0);
+}
+
+// ---------------------------------------------------------------------
+// Recovery: the application suite on a lossy LAN.
+// ---------------------------------------------------------------------
+
+/// Every application, every cluster size, one seeded lossy fabric:
+/// completion *is* the assertion (each `execute` panics unless the
+/// numerical result matches its plain-Rust reference).
+#[test]
+fn all_applications_recover_on_a_lossy_lan() {
+    let apps: Vec<Box<dyn MgsApp>> = vec![
+        Box::new(Jacobi::small()),
+        Box::new(MatMul::small()),
+        Box::new(Tsp::small()),
+        Box::new(Water::small()),
+        Box::new(BarnesHut::small()),
+        Box::new(WaterKernel::small(false)),
+    ];
+    let p = 8;
+    let mut drops = 0u64;
+    let mut retries = 0u64;
+    for app in &apps {
+        let mut c = 1;
+        while c <= p {
+            let mut cfg = DssmpConfig::new(p, c).with_faults(FaultPlan::uniform(
+                SEED,
+                0.01,
+                0.01,
+                Cycles(200),
+            ));
+            cfg.governor_window = None;
+            let machine = Machine::new(cfg);
+            let report = app.execute(&machine);
+            assert!(report.duration.raw() > 0, "{} C={c} ran", app.name());
+            drops += report.lan_drops;
+            retries += report.retries;
+            c *= 2;
+        }
+    }
+    assert!(drops > 0, "a 1% loss rate must drop messages somewhere");
+    assert_eq!(retries, drops, "every drop recovered by one retry");
+}
