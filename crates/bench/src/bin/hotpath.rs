@@ -1,8 +1,8 @@
 //! `hotpath` — host-performance microbenchmarks of the fused
-//! per-access simulation path.
+//! per-access simulation path and the page-grain data kernels.
 //!
-//! Measures the simulator's hottest function at three levels and
-//! writes `BENCH_hotpath.json`:
+//! Measures the simulator's hottest functions and writes
+//! `BENCH_hotpath.json`:
 //!
 //! * `directory_uncontended` — one thread driving
 //!   [`SsmpCacheSystem::access`] (fused, one shard lock per access)
@@ -13,15 +13,26 @@
 //!   shorter lock hold times and single acquisition matter most;
 //! * `env_load_hot` — end-to-end [`mgs_core::Env::load`]s through translation
 //!   cache, cost accounting and the cache system (fused path only;
-//!   the Env-level fast paths have no preserved baseline).
+//!   the Env-level fast paths have no preserved baseline);
+//! * `kernel_twin_diff_*` — one release-path data cycle
+//!   (twin + diff + merge + dirty-line walk) per iteration, the
+//!   allocating [`PageDiff`] baseline against the pooled [`SpanDiff`]
+//!   kernel, at four dirtiness patterns: clean page, sparse 1% dirty,
+//!   dense 50% dirty (alternating words — the span worst case), and
+//!   full dirty. Reports ns/page and effective GB/s (two page passes
+//!   per cycle: the twin copy and the diff scan).
 //!
-//! Run with `cargo run --release -p mgs-bench --bin hotpath`.
+//! Run with `cargo run --release -p mgs-bench --bin hotpath`;
+//! `--smoke` shrinks every measurement for CI.
 
 use mgs_bench::json::JsonObject;
 use mgs_bench::stopwatch::{report, time_for, time_n, Measurement};
 use mgs_cache::{CacheConfig, ProcCache, SsmpCacheSystem};
 use mgs_core::{AccessKind, DssmpConfig, Machine};
+use mgs_proto::{PageDiff, SpanDiff};
 use mgs_sim::XorShift64;
+use mgs_vm::{FrameAllocator, PageGeometry, TwinPool};
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// Distinct lines touched by the directory benchmarks (fits the
@@ -105,6 +116,226 @@ fn bench_env_loads() -> Measurement {
     }
 }
 
+/// One dirtiness pattern for the twin/diff kernel benchmarks.
+struct KernelPattern {
+    name: &'static str,
+    /// Changed-word stride: every `stride`-th word differs from the
+    /// twin (0 = clean page).
+    stride: u64,
+}
+
+const KERNEL_PATTERNS: &[KernelPattern] = &[
+    KernelPattern {
+        name: "clean",
+        stride: 0,
+    },
+    KernelPattern {
+        name: "sparse_1pct",
+        stride: 100, // ⌈1%⌉ of a 128-word page: 2 words
+    },
+    KernelPattern {
+        name: "dense_50pct",
+        stride: 2, // alternating words: worst case for span count
+    },
+    KernelPattern {
+        name: "full_dirty",
+        stride: 1,
+    },
+];
+
+/// Prepared state for one kernel pattern: a live frame diverged from
+/// its twin by the pattern, plus a home frame to merge into.
+struct KernelCase {
+    frame: std::sync::Arc<mgs_vm::PageFrame>,
+    home: std::sync::Arc<mgs_vm::PageFrame>,
+    twin: Vec<u64>,
+    words: u64,
+}
+
+impl KernelCase {
+    fn new(stride: u64) -> KernelCase {
+        let frames = FrameAllocator::new(PageGeometry::default());
+        let frame = frames.alloc(0);
+        let home = frames.alloc(0);
+        let words = frame.len_words();
+        for w in 0..words {
+            frame.store(w, w.wrapping_mul(0x9E37_79B9) + 1);
+        }
+        let twin = frame.snapshot();
+        if stride > 0 {
+            for w in (0..words).step_by(stride as usize) {
+                frame.store(w, twin[w as usize] ^ 0xA5A5_A5A5);
+            }
+        }
+        KernelCase {
+            frame,
+            home,
+            twin,
+            words,
+        }
+    }
+
+    /// Bytes the cycle streams through the kernel: the twin copy reads
+    /// the page once and the diff scan reads it again.
+    fn bytes_per_cycle(&self) -> u64 {
+        2 * self.words * PageGeometry::WORD_BYTES
+    }
+}
+
+/// The pre-span release-path data cycle: allocate a twin snapshot
+/// (upgrade-site twinning), drain and retire the mapping generation
+/// (what the release does after the shootdown), compute a per-word
+/// `PageDiff` (which snapshots the frame again internally), apply it
+/// word-by-word, and build the deduped dirty-line set the old
+/// `mark_home_merge` built (a fresh `BTreeSet` per merge).
+fn baseline_cycle(case: &KernelCase) {
+    let twin_copy = case.frame.snapshot();
+    std::hint::black_box(&twin_copy);
+    {
+        let _drain = case.frame.quiesce();
+        case.frame.bump_generation();
+    }
+    let diff = PageDiff::compute_from_frame(&case.frame, &case.twin);
+    diff.apply_to_frame(&case.home);
+    let lines: BTreeSet<u64> = diff
+        .word_indices()
+        .map(|w| case.home.line_of_word(w))
+        .collect();
+    std::hint::black_box((diff.len(), lines.len()));
+}
+
+/// The span kernel cycle: pooled twin snapshot as one bulk copy under
+/// the frame's exclusive guard (exactly the upgrade path's twinning),
+/// the release's retirement drain, chunked `SpanDiff` computed
+/// straight off the frame into recycled scratch, per-run apply, and
+/// the allocation-free deduped dirty-line walk.
+fn span_cycle(case: &KernelCase, pool: &TwinPool, scratch: &mut SpanDiff) {
+    let mut twin_buf = pool.acquire();
+    case.frame
+        .with_quiesced(|words| twin_buf.copy_from_slice(words));
+    std::hint::black_box(&twin_buf[..]);
+    {
+        let _drain = case.frame.quiesce();
+        case.frame.bump_generation();
+    }
+    scratch.compute_from_frame_into(&case.frame, &case.twin);
+    scratch.apply_to_frame(&case.home);
+    let lines = scratch.touched_lines(&case.home).count();
+    std::hint::black_box((scratch.changed_words(), lines));
+}
+
+/// The old kernel's data work alone, on buffers already in hand: two
+/// full-page copies (the upgrade twin and `compute_from_frame`'s
+/// internal snapshot), the per-word compare into a fresh entry list,
+/// the per-word apply, and the `BTreeSet` line dedup.
+///
+/// Together with [`data_span_cycle`] this isolates what the span
+/// kernel changed from the fixed release-path fixture costs — frame
+/// guards, generation retirement, pool hand-off — that both kernels
+/// pay identically in the full cycles above.
+fn data_baseline_cycle(case: &KernelCase, cur: &[u64], home: &mut [u64]) {
+    let twin_copy = cur.to_vec();
+    std::hint::black_box(&twin_copy);
+    let snap = cur.to_vec();
+    let diff = PageDiff::compute(&snap, &case.twin);
+    diff.apply_to_slice(home);
+    let lines: BTreeSet<u64> = diff
+        .word_indices()
+        .map(|w| case.home.line_of_word(w))
+        .collect();
+    std::hint::black_box((diff.len(), lines.len()));
+}
+
+/// The span kernel's data work alone: one copy into a recycled twin
+/// buffer, the chunked compare into recycled scratch, the per-run
+/// apply, and the allocation-free line walk.
+fn data_span_cycle(
+    case: &KernelCase,
+    cur: &[u64],
+    home: &mut [u64],
+    twin_buf: &mut [u64],
+    scratch: &mut SpanDiff,
+) {
+    twin_buf.copy_from_slice(cur);
+    std::hint::black_box(&twin_buf[..]);
+    scratch.compute_into(cur, &case.twin);
+    scratch.apply_to_slice(home);
+    let lines = scratch.touched_lines(&case.home).count();
+    std::hint::black_box((scratch.changed_words(), lines));
+}
+
+/// Measurements for one kernel pattern: the full release-path cycles
+/// and the data-work-only cycles.
+struct KernelRuns {
+    baseline: Measurement,
+    span: Measurement,
+    data_baseline: Measurement,
+    data_span: Measurement,
+}
+
+/// Benchmarks one pattern. Each measurement is the best of five
+/// windows: the full-cycle variants go through the frame guard and
+/// the pool hand-off, whose ns-scale timing is disturbed by host
+/// scheduling jitter far more than the pure data loops are.
+fn bench_kernel(stride: u64, budget: Duration) -> KernelRuns {
+    const ROUNDS: usize = 5;
+    let case = KernelCase::new(stride);
+    let baseline = best_of(ROUNDS, || time_for(budget, |_| baseline_cycle(&case)));
+    let pool = TwinPool::new(case.words as usize);
+    let mut scratch = SpanDiff::new();
+    let span = best_of(ROUNDS, || {
+        time_for(budget, |_| span_cycle(&case, &pool, &mut scratch))
+    });
+    debug_assert_eq!(pool.stats().allocated, 1, "span cycle must recycle");
+
+    let cur = case.frame.snapshot();
+    let mut home = case.home.snapshot();
+    let data_baseline = best_of(ROUNDS, || {
+        time_for(budget, |_| data_baseline_cycle(&case, &cur, &mut home))
+    });
+    let mut twin_buf = vec![0u64; cur.len()];
+    let data_span = best_of(ROUNDS, || {
+        time_for(budget, |_| {
+            data_span_cycle(&case, &cur, &mut home, &mut twin_buf, &mut scratch)
+        })
+    });
+    KernelRuns {
+        baseline,
+        span,
+        data_baseline,
+        data_span,
+    }
+}
+
+/// Serializes one kernel comparison with ns/page and GB/s.
+fn kernel_comparison(pattern: &KernelPattern, runs: &KernelRuns) -> JsonObject {
+    let case = KernelCase::new(pattern.stride);
+    let bytes = case.bytes_per_cycle() as f64;
+    let changed = SpanDiff::compute_from_frame(&case.frame, &case.twin);
+    let mut o = JsonObject::new();
+    o.str("name", &format!("kernel_twin_diff_{}", pattern.name))
+        .num("changed_words", changed.changed_words() as f64)
+        .num("spans", changed.span_count() as f64)
+        .num("baseline_ns_per_page", runs.baseline.ns_per_iter())
+        .num("span_ns_per_page", runs.span.ns_per_iter())
+        .num(
+            "speedup",
+            runs.baseline.ns_per_iter() / runs.span.ns_per_iter(),
+        )
+        .num("baseline_gb_per_sec", bytes / runs.baseline.ns_per_iter())
+        .num("span_gb_per_sec", bytes / runs.span.ns_per_iter())
+        .num(
+            "data_baseline_ns_per_page",
+            runs.data_baseline.ns_per_iter(),
+        )
+        .num("data_span_ns_per_page", runs.data_span.ns_per_iter())
+        .num(
+            "data_speedup",
+            runs.data_baseline.ns_per_iter() / runs.data_span.ns_per_iter(),
+        );
+    o
+}
+
 /// Best (minimum ns/iter) of `n` runs — the contended measurement is
 /// one wall-clock sample, so take the least-disturbed one.
 fn best_of(n: usize, mut f: impl FnMut() -> Measurement) -> Measurement {
@@ -126,41 +357,76 @@ fn comparison(name: &str, baseline: &Measurement, fused: &Measurement) -> JsonOb
 }
 
 fn main() {
-    println!("hot-path microbenchmarks (fused vs. reference access)\n");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let kernel_budget = if smoke {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(120)
+    };
+    println!(
+        "hot-path microbenchmarks (fused vs. reference access){}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
 
-    let base_unc = bench_uncontended(false);
-    let fused_unc = bench_uncontended(true);
-    report("directory_uncontended/reference", &base_unc);
-    report("directory_uncontended/fused", &fused_unc);
+    let mut benchmarks = Vec::new();
 
-    let base_con = best_of(5, || bench_contended(false));
-    let fused_con = best_of(5, || bench_contended(true));
-    report("directory_contended_c4/reference", &base_con);
-    report("directory_contended_c4/fused", &fused_con);
+    if smoke {
+        // CI smoke: skip the slow directory/env sweeps, keep the kernel
+        // benches (their correctness asserts are the point).
+        let unc = bench_uncontended(true);
+        report("directory_uncontended/fused", &unc);
+    } else {
+        let base_unc = bench_uncontended(false);
+        let fused_unc = bench_uncontended(true);
+        report("directory_uncontended/reference", &base_unc);
+        report("directory_uncontended/fused", &fused_unc);
 
-    let env = bench_env_loads();
-    report("env_load_hot/fused", &env);
+        let base_con = best_of(5, || bench_contended(false));
+        let fused_con = best_of(5, || bench_contended(true));
+        report("directory_contended_c4/reference", &base_con);
+        report("directory_contended_c4/fused", &fused_con);
+
+        let env = bench_env_loads();
+        report("env_load_hot/fused", &env);
+
+        benchmarks.push(comparison("directory_uncontended", &base_unc, &fused_unc));
+        benchmarks.push(comparison("directory_contended_c4", &base_con, &fused_con));
+        benchmarks.push({
+            let mut o = JsonObject::new();
+            o.str("name", "env_load_hot")
+                .num("fused_ns_per_access", env.ns_per_iter())
+                .num("fused_accesses_per_sec", env.per_sec());
+            o
+        });
+    }
+
+    let mut sparse_speedup = 0.0;
+    let mut sparse_data_speedup = 0.0;
+    for pattern in KERNEL_PATTERNS {
+        let runs = bench_kernel(pattern.stride, kernel_budget);
+        let name = format!("kernel_twin_diff_{}", pattern.name);
+        report(&format!("{name}/page_diff"), &runs.baseline);
+        report(&format!("{name}/span"), &runs.span);
+        report(&format!("{name}/page_diff_data"), &runs.data_baseline);
+        report(&format!("{name}/span_data"), &runs.data_span);
+        if pattern.name == "sparse_1pct" {
+            sparse_speedup = runs.baseline.ns_per_iter() / runs.span.ns_per_iter();
+            sparse_data_speedup = runs.data_baseline.ns_per_iter() / runs.data_span.ns_per_iter();
+        }
+        benchmarks.push(kernel_comparison(pattern, &runs));
+    }
 
     let mut root = JsonObject::new();
-    root.str("bench", "hotpath").array(
-        "benchmarks",
-        vec![
-            comparison("directory_uncontended", &base_unc, &fused_unc),
-            comparison("directory_contended_c4", &base_con, &fused_con),
-            {
-                let mut o = JsonObject::new();
-                o.str("name", "env_load_hot")
-                    .num("fused_ns_per_access", env.ns_per_iter())
-                    .num("fused_accesses_per_sec", env.per_sec());
-                o
-            },
-        ],
-    );
+    root.str("bench", "hotpath").array("benchmarks", benchmarks);
+    if smoke {
+        // Don't clobber the committed full-run numbers from CI.
+        println!("\nsmoke run complete (BENCH_hotpath.json left untouched)");
+        return;
+    }
     let path = "BENCH_hotpath.json";
     std::fs::write(path, root.render(0) + "\n").expect("write BENCH_hotpath.json");
     println!(
-        "\nwrote {path}: uncontended speedup {:.2}x, contended speedup {:.2}x",
-        base_unc.ns_per_iter() / fused_unc.ns_per_iter(),
-        base_con.ns_per_iter() / fused_con.ns_per_iter()
+        "\nwrote {path}: sparse-dirty speedup {sparse_speedup:.2}x full cycle, \
+         {sparse_data_speedup:.2}x data kernel (span vs. page diff)"
     );
 }

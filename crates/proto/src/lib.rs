@@ -56,7 +56,7 @@ mod timing;
 mod transport;
 
 pub use config::ProtoConfig;
-pub use diff::PageDiff;
+pub use diff::{PageDiff, SpanDiff};
 pub use duq::Duq;
 pub use protocol::MgsProtocol;
 pub use state::{ClientState, ServerDirs};

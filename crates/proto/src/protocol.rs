@@ -14,12 +14,12 @@
 
 use crate::state::{bits, ClientPage, ClientState, PageEntry, ServerDirs, ServerPage};
 use crate::transport::{ProtocolError, SendOutcome, SeqFilter, Transaction};
-use crate::{Duq, PageDiff, ProtoConfig, ProtoStats, ProtoTiming};
+use crate::{Duq, ProtoConfig, ProtoStats, ProtoTiming, SpanDiff};
 use mgs_cache::SsmpCacheSystem;
 use mgs_net::MsgKind;
-use mgs_vm::{FrameAllocator, Tlb, TlbEntry};
+use mgs_vm::{FrameAllocator, PageBuf, PoolStats, Tlb, TlbEntry, TwinPool};
 use parking_lot::Mutex;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -93,6 +93,19 @@ pub struct MgsProtocol {
     /// Per-SSMP receive filters discarding duplicate deliveries (the
     /// receive half; see [`SeqFilter`]).
     seq_filters: Vec<SeqFilter>,
+    /// Per-SSMP recycled page-sized buffers for twins, fill images and
+    /// single-writer flush snapshots: the page-grain data kernels run
+    /// allocation-free in steady state. Sharded per SSMP so concurrent
+    /// releases on different SSMPs never contend on a host-side lock.
+    twin_pools: Vec<TwinPool>,
+    /// Per-SSMP recycled [`SpanDiff`] scratch instances for the release
+    /// path (their span/value buffers keep their capacity between
+    /// diffs).
+    diff_scratch: Vec<Mutex<Vec<SpanDiff>>>,
+    /// Fresh `SpanDiff` instances ever created (for the zero-allocation
+    /// steady-state assertion; see
+    /// [`diff_scratch_created`](MgsProtocol::diff_scratch_created)).
+    diff_scratch_created: AtomicU64,
     stats: ProtoStats,
 }
 
@@ -128,6 +141,9 @@ impl MgsProtocol {
         let n_ssmps = cfg.n_ssmps;
         MgsProtocol {
             frames: FrameAllocator::new(cfg.geometry),
+            twin_pools: (0..n_ssmps)
+                .map(|_| TwinPool::new(cfg.geometry.words_per_page() as usize))
+                .collect(),
             cfg,
             tlbs,
             duqs,
@@ -139,8 +155,55 @@ impl MgsProtocol {
             notices: (0..n_ssmps).map(|_| NoticeBoard::default()).collect(),
             send_seq: (0..n_ssmps).map(|_| AtomicU64::new(0)).collect(),
             seq_filters: (0..n_ssmps).map(|_| SeqFilter::new(n_ssmps)).collect(),
+            diff_scratch: (0..n_ssmps).map(|_| Mutex::new(Vec::new())).collect(),
+            diff_scratch_created: AtomicU64::new(0),
             stats: ProtoStats::new(),
         }
+    }
+
+    /// Aggregate statistics of the per-SSMP twin/snapshot buffer
+    /// pools. In steady state (every page fetched at least once)
+    /// `allocated` stops growing: releases and upgrades recycle
+    /// buffers instead of allocating.
+    pub fn twin_pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats {
+            allocated: 0,
+            reused: 0,
+            free: 0,
+        };
+        for pool in &self.twin_pools {
+            let s = pool.stats();
+            total.allocated += s.allocated;
+            total.reused += s.reused;
+            total.free += s.free;
+        }
+        total
+    }
+
+    /// Number of [`SpanDiff`] scratch instances ever created, summed
+    /// over the per-SSMP pools. Like
+    /// [`twin_pool_stats`](MgsProtocol::twin_pool_stats), this stops
+    /// growing once the release path reaches steady state (at most one
+    /// per concurrently-releasing processor).
+    pub fn diff_scratch_created(&self) -> u64 {
+        self.diff_scratch_created.load(Ordering::Relaxed)
+    }
+
+    /// Takes a recycled diff scratch from `ssmp`'s pool (or creates a
+    /// fresh one).
+    fn acquire_diff_scratch(&self, ssmp: usize) -> SpanDiff {
+        match self.diff_scratch[ssmp].lock().pop() {
+            Some(d) => d,
+            None => {
+                self.diff_scratch_created.fetch_add(1, Ordering::Relaxed);
+                SpanDiff::new()
+            }
+        }
+    }
+
+    /// Returns a diff scratch to `ssmp`'s pool, keeping its capacity.
+    fn release_diff_scratch(&self, ssmp: usize, diff: SpanDiff) {
+        self.diff_scratch[ssmp].lock().push(diff);
     }
 
     /// The protocol configuration.
@@ -488,9 +551,15 @@ impl MgsProtocol {
                 t.node_work(rc_node, cost.rc_upgrade);
                 if ssmp != home_ssmp {
                     // Arc 13: make twin. (The home SSMP maps the home
-                    // copy itself and never diffs.)
+                    // copy itself and never diffs.) The twin buffer
+                    // comes from the pool and is overwritten fully, as
+                    // one bulk copy under the frame's exclusive guard
+                    // (in-flight local reads drain first, like a
+                    // shootdown would).
                     t.node_work(rc_node, cost.twin_cost(self.cfg.geometry.words_per_page()));
-                    client.twin = Some(frame.snapshot());
+                    let mut twin = self.twin_pools[ssmp].acquire();
+                    frame.with_quiesced(|words| twin.copy_from_slice(words));
+                    client.twin = Some(twin);
                 }
                 client.state = ClientState::Write;
                 // Arc 13: UP_ACK ⇒ src, WNOTIFY ⇒ g_home.
@@ -585,18 +654,21 @@ impl MgsProtocol {
         }
         t.node_work(home_node, service);
 
-        let (frame, arrived) = if at_home {
+        let (frame, arrived): (_, Option<PageBuf>) = if at_home {
             // The home SSMP maps the physical home copy directly; no
             // data moves.
             (server.home_frame.clone(), None)
         } else {
             // Gather a globally coherent image of the home copy
-            // (page cleaning, §4.2.4), then DMA it out.
+            // (page cleaning, §4.2.4), then DMA it out. The transfer
+            // buffer is pooled: on a write fill it becomes the twin,
+            // on a read fill it is recycled.
             let clean = self.caches[home_ssmp]
                 .directory()
                 .clean_page(server.home_frame.lines());
             t.node_work(home_node, SsmpCacheSystem::clean_cost(clean, cost));
-            let data = server.home_frame.snapshot();
+            let mut data = self.twin_pools[ssmp].acquire();
+            server.home_frame.snapshot_into(&mut data);
             t.node_work(home_node, cost.page_dma_cost(words));
             if let Err(e) = self.reliable(
                 t,
@@ -829,7 +901,11 @@ impl MgsProtocol {
         // (the paper's translation-critical-section rollback, §4.2.1):
         // accesses that cloned a TLB entry before the shootdown will
         // observe the generation bump and re-fault instead of touching
-        // a retired copy.
+        // a retired copy. The bump and the later diff each take the
+        // guard briefly rather than fusing into one long exclusive
+        // section: stale-TLB racers blocked on the guard should be
+        // held for as short a window as the seed held them, keeping
+        // host-side interleavings on live pages undisturbed.
         {
             let _drain = frame.quiesce();
             frame.bump_generation();
@@ -852,14 +928,27 @@ impl MgsProtocol {
         }
         if is_writer && !at_home {
             // Arc 14 (WRITE) → 16 (tt == 2): make diff, DIFF ⇒ g_home.
+            // The span kernel diffs the retired frame against the twin
+            // directly under a brief drain (no intermediate snapshot);
+            // the twin buffer and the diff scratch are both recycled,
+            // so a steady-state release allocates nothing. Cycle
+            // charges are unchanged: the changed-word count is
+            // identical to `PageDiff`'s (the span_diff_props tests
+            // gate this).
             let twin = client.twin.take().expect("writer SSMP has a twin");
+            let mut diff = self.acquire_diff_scratch(ssmp);
+            diff.compute_from_frame_into(&frame, &twin);
+            drop(twin); // back to the pool before the transfer
             t.node_work(rc_node, cost.diff_compute_cost(words));
-            let diff = PageDiff::compute_from_frame(&frame, &twin);
-            let changed = diff.len() as u64;
-            self.reliable(t, ssmp, home_ssmp, MsgKind::Diff, changed * 8, page)?;
+            let changed = diff.changed_words();
+            if let Err(e) = self.reliable(t, ssmp, home_ssmp, MsgKind::Diff, changed * 8, page) {
+                self.release_diff_scratch(ssmp, diff);
+                return Err(e);
+            }
             t.node_work(home_node, cost.diff_transfer_apply_cost(changed));
             diff.apply_to_frame(&server.home_frame);
             self.mark_home_merge(server, &diff, home_node, home_ssmp);
+            self.release_diff_scratch(ssmp, diff);
             self.stats.diffs.incr();
             self.stats.diff_words.add(changed);
         } else {
@@ -902,6 +991,8 @@ impl MgsProtocol {
         t.node_work(rc_node, cost.rc_entry);
 
         self.shoot_down(&mut client, ssmp, page, rc_node, t);
+        // Retire the mapping generation under a brief drain, as in the
+        // multi-writer invalidate path above.
         {
             let _drain = frame.quiesce();
             frame.bump_generation();
@@ -916,8 +1007,14 @@ impl MgsProtocol {
             t.node_work(rc_node, SsmpCacheSystem::clean_cost(clean, cost));
             // 1WDATA: the whole page travels instead of a diff —
             // "diff computation overhead is traded off for higher
-            // communication bandwidth" (§3.1.1).
-            let data = frame.snapshot();
+            // communication bandwidth" (§3.1.1). One pooled snapshot
+            // serves both the home overwrite and the refreshed twin;
+            // the writer's previous twin buffer (if any) is recycled
+            // only after the transfer succeeds, so an aborted flush
+            // leaves the old twin in place and the next release's diff
+            // still covers these updates.
+            let mut data = self.twin_pools[ssmp].acquire();
+            frame.with_quiesced(|words| data.copy_from_slice(words));
             t.node_work(rc_node, cost.page_dma_cost(words));
             self.reliable(
                 t,
@@ -936,6 +1033,7 @@ impl MgsProtocol {
             t.node_work(home_node, cost.page_dma_cost(words));
             // Refresh the twin: the kept copy is now identical to the
             // home, so a future multi-writer diff starts from here.
+            // (Replacing the old twin drops its buffer into the pool.)
             client.twin = Some(data);
         } else {
             // The sole writer is the home SSMP itself: its stores are
@@ -1063,20 +1161,23 @@ impl MgsProtocol {
     /// the changed words through its cache: mark those lines dirty in
     /// the home SSMP's directory so later page cleans pay the dirty
     /// tier (§4.2.4).
+    ///
+    /// Marking is driven off the diff's spans, **deduped to one mark
+    /// per cache line** ([`SpanDiff::touched_lines`]): a line holding
+    /// several changed words is still marked exactly once, and no
+    /// intermediate set is allocated. The span_diff_props tests assert
+    /// the marked set equals the per-changed-word reference.
     fn mark_home_merge(
         &self,
         server: &ServerPage,
-        diff: &PageDiff,
+        diff: &SpanDiff,
         home_node: usize,
         home_ssmp: usize,
     ) {
-        let lines: BTreeSet<u64> = diff
-            .word_indices()
-            .map(|w| server.home_frame.line_of_word(w))
-            .collect();
-        self.caches[home_ssmp]
-            .directory()
-            .mark_dirty_lines(lines, self.cfg.local_index(home_node));
+        self.caches[home_ssmp].directory().mark_dirty_lines(
+            diff.touched_lines(&server.home_frame),
+            self.cfg.local_index(home_node),
+        );
     }
 
     /// Total simulated time helper used by micro-benchmarks: number of

@@ -1,7 +1,7 @@
 //! Protocol state records for clients and the server.
 
 use mgs_sim::Cycles;
-use mgs_vm::PageFrame;
+use mgs_vm::{PageBuf, PageFrame};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -69,7 +69,8 @@ pub(crate) struct ClientPage {
     /// SSMP).
     pub frame: Option<Arc<PageFrame>>,
     /// Twin snapshot for diffing (never present at the home SSMP).
-    pub twin: Option<Vec<u64>>,
+    /// Pooled: dropping it recycles the buffer for the next twin.
+    pub twin: Option<PageBuf>,
     /// Bitmask of local processors with TLB mappings (`tlb_dir`).
     pub tlb_dir: u64,
     /// A fill transaction is in flight from this SSMP (`BUSY`).

@@ -276,11 +276,23 @@ impl CostModel {
     }
 
     /// Cost of computing a diff over `words` words.
+    ///
+    /// Charged per **page** word, not per changed word: the modeled
+    /// Alewife software diff walks the whole page against its twin
+    /// regardless of how much changed. The charge is a function of the
+    /// page size only, so which host-side kernel produced the diff
+    /// (the per-word reference `PageDiff` or the chunked span kernel)
+    /// cannot affect simulated cycles.
     pub fn diff_compute_cost(&self, words: u64) -> Cycles {
         self.diff_setup + self.diff_per_word * words
     }
 
     /// Cost of transferring and applying a diff of `changed` words.
+    ///
+    /// `changed` is the count of words whose values differ from the
+    /// twin — a property of the page contents, on which the reference
+    /// and span kernels agree exactly (gated by the oracle-equivalence
+    /// tests) — so this charge, too, is kernel-independent.
     pub fn diff_transfer_apply_cost(&self, changed: u64) -> Cycles {
         (self.diff_data_per_word + self.diff_apply_per_word) * changed
     }

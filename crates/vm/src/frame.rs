@@ -77,7 +77,66 @@ impl PageFrame {
             .collect()
     }
 
-    /// Overwrites the frame with `data`.
+    /// Word-atomically snapshots the frame into an existing buffer
+    /// (typically a recycled [`TwinPool`](crate::TwinPool) buffer),
+    /// overwriting every word — the allocation-free counterpart of
+    /// [`snapshot`](PageFrame::snapshot). Safe on a live frame:
+    /// concurrent accessors are not blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly the frame's length.
+    pub fn snapshot_into(&self, out: &mut [u64]) {
+        assert_eq!(
+            out.len(),
+            self.words.len(),
+            "snapshot buffer/frame size mismatch"
+        );
+        for (o, w) in out.iter_mut().zip(self.words.iter()) {
+            *o = w.load(Ordering::Acquire);
+        }
+    }
+
+    /// Stores a contiguous run of words starting at `start` (one bounds
+    /// check for the whole run; used by the per-run diff apply on live
+    /// home frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds the frame.
+    #[inline]
+    pub fn store_words(&self, start: u64, data: &[u64]) {
+        let s = start as usize;
+        for (w, &v) in self.words[s..s + data.len()].iter().zip(data) {
+            w.store(v, Ordering::Release);
+        }
+    }
+
+    /// Runs `f` over the frame's words as one plain shared slice,
+    /// holding the access guard exclusively for the duration (draining
+    /// in-flight accesses first, exactly like
+    /// [`quiesce`](PageFrame::quiesce)).
+    ///
+    /// The exclusive plain view lets page-grain kernels compile to
+    /// vectorized slice code instead of a per-word atomic-load loop.
+    /// Use it only where the frame is already logically private (e.g.
+    /// the release path's diff, which runs after the TLB shootdown) —
+    /// on a live frame the exclusive guard would serialize concurrent
+    /// accessors, changing host-side interleavings.
+    pub fn with_quiesced<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        let _drain = self.guard.write();
+        // SAFETY: `AtomicU64` has the same size and bit validity as
+        // `u64`, and the exclusive guard drains every in-flight
+        // accessor, so no atomic access can race with these plain
+        // reads; the guard's release edge orders them before any
+        // later atomic access.
+        let words: &[u64] =
+            unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast(), self.words.len()) };
+        f(words)
+    }
+
+    /// Overwrites the frame with `data` word-atomically. Safe on a
+    /// live frame: concurrent accessors are not blocked.
     ///
     /// # Panics
     ///
@@ -113,9 +172,14 @@ impl PageFrame {
     }
 
     /// Bumps the mapping generation. Call only while holding the
-    /// [`quiesce`](PageFrame::quiesce) guard.
+    /// [`quiesce`](PageFrame::quiesce) guard — which is also why the
+    /// increment is a plain load + store rather than an atomic RMW:
+    /// bumps are serialized by the exclusive guard, only the
+    /// generation word's store itself needs to be atomic for the
+    /// concurrent [`generation`](PageFrame::generation) readers.
     pub fn bump_generation(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
+        let g = self.generation.load(Ordering::Relaxed);
+        self.generation.store(g + 1, Ordering::Release);
     }
 
     /// Line addresses (for the cache model) covering this frame.

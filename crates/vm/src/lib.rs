@@ -19,6 +19,9 @@
 //!   drain in-flight accesses before invalidating.
 //! * [`FrameAllocator`] — allocates frames with unique physical
 //!   addresses.
+//! * [`TwinPool`] — recycled page-sized buffers for twins, snapshots
+//!   and arriving page images, so the protocol's data kernels run
+//!   allocation-free in steady state.
 //! * [`Tlb`] — the per-processor mapping table with the three states of
 //!   the paper's Local Client (no entry = `TLB_INV`, read-only entry =
 //!   `TLB_READ`, writable entry = `TLB_WRITE`).
@@ -32,9 +35,11 @@
 mod addr;
 mod frame;
 mod heap;
+mod pool;
 mod tlb;
 
 pub use addr::{PageGeometry, VIRT_BASE};
 pub use frame::{FrameAllocator, PageFrame};
 pub use heap::{AccessKind, SharedHeap, VRange};
+pub use pool::{PageBuf, PoolStats, TwinPool};
 pub use tlb::{Tlb, TlbEntry, TlbStats};
