@@ -101,6 +101,7 @@ mod tests {
             lan_drops: 0,
             lan_duplicates: 0,
             retries: 0,
+            metrics: None,
         }
     }
 

@@ -229,6 +229,7 @@ mod tests {
                 lan_drops: 0,
                 lan_duplicates: 0,
                 retries: 0,
+                metrics: None,
             },
             lock_hit_ratio: 0.5,
         }

@@ -19,6 +19,7 @@
 //! | `scaling` | External-latency / page-size / machine-size sweeps |
 //! | `hotpath` | Host-performance microbenchmarks → `BENCH_hotpath.json` |
 //! | `chaos` | Fault-injection sweep (drop × duplicate × jitter) with verified recovery → `BENCH_chaos.json` |
+//! | `profile` | Observability deep-dive for one app: metrics, hot pages, Perfetto timeline → `results/profile_*.json` |
 //!
 //! All binaries accept `--p <procs>` (default 32) and `--scale <div>`
 //! (divide the problem size for quick runs; default 1 = paper sizes).

@@ -59,7 +59,9 @@ impl MissClass {
         }
     }
 
-    const fn index(self) -> usize {
+    /// Dense index of this class (its position in [`MissClass::ALL`]),
+    /// for external per-class counter arrays.
+    pub const fn index(self) -> usize {
         match self {
             MissClass::Hit => 0,
             MissClass::LocalMiss => 1,

@@ -63,6 +63,14 @@ pub struct DssmpConfig {
     /// machine trace (see [`Machine::take_trace`](crate::Machine)).
     /// Off by default: tracing large runs allocates heavily.
     pub trace: bool,
+    /// Attach the `mgs-obs` observability sink: typed metrics, latency
+    /// histograms and the per-page sharing profiler (see
+    /// [`Machine::obs`](crate::Machine::obs) and
+    /// [`RunReport::metrics`](crate::RunReport)). Purely a host-side
+    /// side channel — enabling it leaves simulated cycle counts
+    /// bit-identical (the zero-perturbation invariant, gated by
+    /// `tests/observability.rs`). Off by default.
+    pub observe: bool,
     /// Seeded fault injection on the external LAN (default
     /// [`FaultPlan::none`]: the paper's perfect fabric, with message
     /// behaviour bit-identical to builds without fault support).
@@ -99,6 +107,7 @@ impl DssmpConfig {
             lock_affinity_window: mgs_sync::MgsLock::DEFAULT_AFFINITY_WINDOW,
             seed: 0x4D47_5331, // "MGS1"
             trace: false,
+            observe: false,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::lan_default(),
         }
@@ -107,6 +116,13 @@ impl DssmpConfig {
     /// Attaches a seeded [`FaultPlan`] to the external LAN.
     pub fn with_faults(mut self, plan: FaultPlan) -> DssmpConfig {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Enables the observability sink (metrics registry + sharing
+    /// profiler).
+    pub fn with_observability(mut self) -> DssmpConfig {
+        self.observe = true;
         self
     }
 

@@ -4,6 +4,7 @@ use crate::report::ProcResult;
 use crate::runtime::RuntimeTiming;
 use crate::Machine;
 use mgs_cache::{CacheConfig, ProcCache};
+use mgs_obs::{LatencyClass, Metric, ObsSink};
 use mgs_proto::MgsProtocol;
 use mgs_sim::{CostCategory, CostModel, CycleAccount, Cycles, ProcClock, XorShift64};
 use mgs_sync::{HwLock, MgsLock};
@@ -19,6 +20,17 @@ const RNG_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 /// number). 64 entries cover the working set of every application's
 /// inner loop while costing ~2 KB per processor thread.
 const XLATE_SLOTS: usize = 64;
+
+/// Maps a hardware [`MissClass`](mgs_cache::MissClass) (by `index()`)
+/// to its observability counter.
+const HW_METRIC: [Metric; 6] = [
+    Metric::HwHit,
+    Metric::HwLocalMiss,
+    Metric::HwRemoteClean,
+    Metric::HwTwoParty,
+    Metric::HwThreeParty,
+    Metric::HwSwDirectory,
+];
 
 /// Types that can live in simulated shared memory (one 8-byte word per
 /// element).
@@ -178,6 +190,11 @@ pub struct Env {
     /// identical, though the shared TLB's host-side hit counters no
     /// longer see the cached lookups.
     xlate_cache: Vec<Option<(u64, TlbEntry)>>,
+    /// The machine's observability sink, hoisted so the per-access
+    /// counting path is a null check plus a relaxed atomic increment
+    /// into this processor's shard — no locks, no allocation, and no
+    /// simulated-clock interaction (the zero-perturbation invariant).
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl Env {
@@ -194,6 +211,7 @@ impl Env {
         let geometry = cfg.geometry;
         let cluster_size = cfg.cluster_size;
         let cost = cfg.cost.clone();
+        let obs = machine.obs().cloned();
         Env {
             machine,
             proc,
@@ -210,6 +228,7 @@ impl Env {
             cluster_size,
             cost,
             xlate_cache: (0..XLATE_SLOTS).map(|_| None).collect(),
+            obs,
         }
     }
 
@@ -330,6 +349,11 @@ impl Env {
                 );
                 self.clock
                     .charge(CostCategory::User, class.cost(&self.cost));
+                if let Some(obs) = &self.obs {
+                    let m = if write { Metric::Stores } else { Metric::Loads };
+                    obs.registry.count(self.proc, m, 1);
+                    obs.registry.count(self.proc, HW_METRIC[class.index()], 1);
+                }
                 let result = if write {
                     frame.store(word, value);
                     value
@@ -363,6 +387,14 @@ impl Env {
             // the paper folds into user time.
             self.clock
                 .charge(CostCategory::User, self.cost.tlb_fill_cost());
+            if let Some(obs) = &self.obs {
+                obs.registry.count(self.proc, Metric::TlbFills, 1);
+                obs.registry.record_latency(
+                    self.proc,
+                    LatencyClass::TlbFill,
+                    self.cost.tlb_fill_cost(),
+                );
+            }
             let frame = self.proto.home_frame(page);
             let entry = TlbEntry {
                 gen: frame.generation(),
@@ -372,11 +404,7 @@ impl Env {
             self.proto.tlb(self.proc).insert(page, entry.clone());
             return entry;
         }
-        let mut timing = RuntimeTiming {
-            clock: &mut self.clock,
-            machine: &self.machine,
-            proc: self.proc,
-        };
+        let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
         self.proto.fault(self.proc, page, write, &mut timing)
     }
 
@@ -389,8 +417,22 @@ impl Env {
     pub fn acquire(&mut self, lock: &MgsLock) {
         self.maybe_tick();
         self.gov_blocked();
-        let (granted, _hit) = lock.acquire(self.ssmp, self.clock.now());
+        let requested = self.clock.now();
+        let (granted, hit) = lock.acquire(self.ssmp, requested);
         self.gov_unblocked();
+        if let Some(obs) = &self.obs {
+            let m = if hit {
+                Metric::LockAcquiresLocal
+            } else {
+                Metric::LockAcquiresRemote
+            };
+            obs.registry.count(self.proc, m, 1);
+            obs.registry.record_latency(
+                self.proc,
+                LatencyClass::LockWait,
+                granted.saturating_sub(requested),
+            );
+        }
         self.clock.advance_to(CostCategory::Lock, granted);
         self.acquire_sync();
     }
@@ -411,8 +453,17 @@ impl Env {
     pub fn acquire_hw(&mut self, lock: &HwLock) {
         self.maybe_tick();
         self.gov_blocked();
-        let granted = lock.acquire(self.clock.now());
+        let requested = self.clock.now();
+        let granted = lock.acquire(requested);
         self.gov_unblocked();
+        if let Some(obs) = &self.obs {
+            obs.registry.count(self.proc, Metric::HwLockAcquires, 1);
+            obs.registry.record_latency(
+                self.proc,
+                LatencyClass::LockWait,
+                granted.saturating_sub(requested),
+            );
+        }
         self.clock.advance_to(CostCategory::Lock, granted);
     }
 
@@ -431,8 +482,17 @@ impl Env {
         self.flush();
         self.maybe_tick();
         self.gov_blocked();
-        let released = self.machine.barrier_obj().arrive(self.clock.now());
+        let arrived = self.clock.now();
+        let released = self.machine.barrier_obj().arrive(arrived);
         self.gov_unblocked();
+        if let Some(obs) = &self.obs {
+            obs.registry.count(self.proc, Metric::BarrierArrivals, 1);
+            obs.registry.record_latency(
+                self.proc,
+                LatencyClass::BarrierWait,
+                released.saturating_sub(arrived),
+            );
+        }
         self.clock.advance_to(CostCategory::Barrier, released);
         self.acquire_sync();
     }
@@ -446,8 +506,17 @@ impl Env {
     pub fn barrier_sync_only(&mut self) {
         self.maybe_tick();
         self.gov_blocked();
-        let released = self.machine.barrier_obj().arrive(self.clock.now());
+        let arrived = self.clock.now();
+        let released = self.machine.barrier_obj().arrive(arrived);
         self.gov_unblocked();
+        if let Some(obs) = &self.obs {
+            obs.registry.count(self.proc, Metric::BarrierArrivals, 1);
+            obs.registry.record_latency(
+                self.proc,
+                LatencyClass::BarrierWait,
+                released.saturating_sub(arrived),
+            );
+        }
         self.clock.advance_to(CostCategory::Barrier, released);
     }
 
@@ -457,11 +526,7 @@ impl Env {
         if self.null_mgs || !self.machine.config().lazy_read_invalidation {
             return;
         }
-        let mut timing = RuntimeTiming {
-            clock: &mut self.clock,
-            machine: &self.machine,
-            proc: self.proc,
-        };
+        let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
         self.proto.acquire_sync(self.proc, &mut timing);
     }
 
@@ -472,11 +537,7 @@ impl Env {
         if self.null_mgs {
             return;
         }
-        let mut timing = RuntimeTiming {
-            clock: &mut self.clock,
-            machine: &self.machine,
-            proc: self.proc,
-        };
+        let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
         self.proto.release_all(self.proc, &mut timing);
     }
 

@@ -197,6 +197,7 @@ mod tests {
                 lan_drops: 0,
                 lan_duplicates: 0,
                 retries: 0,
+                metrics: None,
             },
             lock_hit_ratio: 1.0,
         }

@@ -56,10 +56,14 @@ pub use config::DssmpConfig;
 pub use env::{Env, SharedArray, Word};
 pub use machine::Machine;
 pub use report::RunReport;
-pub use trace::{TraceEvent, TraceKind};
+pub use trace::{export_perfetto, TraceEvent, TraceKind};
 
 // Re-exports used throughout the public API.
 pub use mgs_net::{FaultPlan, FaultSpec, NetStats};
+pub use mgs_obs::{
+    HistSummary, LatencyClass, Metric, MetricsReport, ObsSink, PageProfile, SharingReport,
+    XactKind, XactOutcome,
+};
 pub use mgs_proto::{ProtocolError, RetryPolicy};
 pub use mgs_sim::{CostCategory, CostModel, CycleAccount, Cycles};
 pub use mgs_sync::{HwLock, MgsBarrier, MgsLock};

@@ -5,6 +5,7 @@ use crate::report::RunReport;
 use crate::trace::TraceEvent;
 use crate::DssmpConfig;
 use mgs_net::LanModel;
+use mgs_obs::ObsSink;
 use mgs_proto::{MgsProtocol, ProtoConfig, ProtoStats};
 use mgs_sim::{Occupancy, TimeGovernor};
 use mgs_sync::{HwLock, MgsBarrier, MgsLock};
@@ -38,6 +39,7 @@ pub struct Machine {
     governor: Option<Arc<TimeGovernor>>,
     locks: Mutex<Vec<Arc<MgsLock>>>,
     trace: Option<Mutex<Vec<TraceEvent>>>,
+    obs: Option<Arc<ObsSink>>,
 }
 
 impl Machine {
@@ -68,6 +70,12 @@ impl Machine {
             .governor_window
             .map(|w| Arc::new(TimeGovernor::new(cfg.n_procs, w)));
         let trace = cfg.trace.then(|| Mutex::new(Vec::new()));
+        let obs = cfg.observe.then(|| {
+            Arc::new(ObsSink::new(
+                cfg.n_procs,
+                cfg.geometry.lines_per_page() as usize,
+            ))
+        });
         Arc::new(Machine {
             cfg,
             proto,
@@ -78,6 +86,7 @@ impl Machine {
             governor,
             locks: Mutex::new(Vec::new()),
             trace,
+            obs,
         })
     }
 
@@ -121,6 +130,15 @@ impl Machine {
 
     pub(crate) fn tracing(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// The observability sink, when
+    /// [`DssmpConfig::observe`](crate::DssmpConfig) is enabled: the
+    /// sharded metrics registry and the per-page sharing profiler. Query
+    /// it after [`run`](Machine::run) (or take the merged snapshot from
+    /// [`RunReport::metrics`](crate::RunReport)).
+    pub fn obs(&self) -> Option<&Arc<ObsSink>> {
+        self.obs.as_ref()
     }
 
     /// Takes the accumulated protocol trace (empty unless
@@ -295,6 +313,7 @@ impl Machine {
                 self.lan.stats().duplicated_total(),
                 self.proto.stats().retries.get(),
             ),
+            self.obs.as_ref().map(|o| o.registry.merge()),
         )
     }
 }

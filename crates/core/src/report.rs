@@ -1,5 +1,6 @@
 //! Run reports: execution time and the four-way runtime breakdown.
 
+use mgs_obs::MetricsReport;
 use mgs_sim::{CostCategory, CycleAccount, Cycles};
 use std::fmt;
 
@@ -27,6 +28,12 @@ pub struct RunReport {
     /// Per-processor *mean* breakdown; when the program ends with a
     /// barrier (all the paper's applications do), the breakdown total
     /// equals the execution time.
+    ///
+    /// Rounding rule: each category is the summed total divided by the
+    /// processor count, rounded down, with the dropped remainders
+    /// re-apportioned largest-remainder-first so that the breakdown
+    /// total equals `floor(grand_total / n)` exactly (no cycles are
+    /// silently lost to per-category truncation).
     pub breakdown: CycleAccount,
     /// Total lock acquires across all machine locks.
     pub lock_acquires: u64,
@@ -44,6 +51,9 @@ pub struct RunReport {
     pub lan_duplicates: u64,
     /// Protocol retransmissions performed to recover from the drops.
     pub retries: u64,
+    /// Merged metrics snapshot from the `mgs-obs` registry; present only
+    /// when [`DssmpConfig::observe`](crate::DssmpConfig) was enabled.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RunReport {
@@ -52,6 +62,7 @@ impl RunReport {
         lock_totals: (u64, u64),
         lan_totals: (u64, u64),
         fault_totals: (u64, u64, u64),
+        metrics: Option<MetricsReport>,
     ) -> RunReport {
         let n = results.len().max(1) as u64;
         let duration = results
@@ -63,9 +74,26 @@ impl RunReport {
         for r in &results {
             sum.merge(&r.account);
         }
+        // Mean breakdown by largest-remainder apportionment: naive
+        // per-category `S_c / n` drops up to `n - 1` cycles from each
+        // category, so the breakdown total would drift below the true
+        // mean by up to `4 (n - 1)` cycles. Instead each category keeps
+        // its floor quotient and the remainders fund `floor(Σr_c / n)`
+        // extra cycles, handed to the largest remainders first (ties in
+        // `CostCategory::ALL` order), making the total exactly
+        // `floor(ΣS_c / n)`.
         let mut breakdown = CycleAccount::new();
+        let mut rems: Vec<(u64, CostCategory)> = Vec::with_capacity(CostCategory::ALL.len());
+        let mut rem_sum = 0u64;
         for c in CostCategory::ALL {
-            breakdown.record(c, sum.get(c) / n);
+            let s = sum.get(c).raw();
+            breakdown.record(c, Cycles(s / n));
+            rems.push((s % n, c));
+            rem_sum += s % n;
+        }
+        rems.sort_by_key(|&(r, _)| std::cmp::Reverse(r));
+        for &(_, c) in rems.iter().take((rem_sum / n) as usize) {
+            breakdown.record(c, Cycles(1));
         }
         RunReport {
             per_proc: results.into_iter().map(|r| r.account).collect(),
@@ -78,6 +106,7 @@ impl RunReport {
             lan_drops: fault_totals.0,
             lan_duplicates: fault_totals.1,
             retries: fault_totals.2,
+            metrics,
         }
     }
 
@@ -154,6 +183,7 @@ mod tests {
             (0, 0),
             (0, 0),
             (0, 0, 0),
+            None,
         );
         assert_eq!(r.duration, Cycles(240));
     }
@@ -165,21 +195,61 @@ mod tests {
             (0, 0),
             (0, 0),
             (0, 0, 0),
+            None,
         );
         assert_eq!(r.breakdown.get(CostCategory::User), Cycles(75));
     }
 
     #[test]
+    fn breakdown_rounding_preserves_the_grand_total() {
+        // Three processors, every category summing to 3k + 2: naive
+        // per-category division would lose 2 cycles in each of the four
+        // categories (8 total); largest-remainder apportionment keeps
+        // the breakdown total at floor(grand / n) exactly.
+        let mk = |u, l, b, m| {
+            let mut account = CycleAccount::new();
+            account.record(CostCategory::User, Cycles(u));
+            account.record(CostCategory::Lock, Cycles(l));
+            account.record(CostCategory::Barrier, Cycles(b));
+            account.record(CostCategory::Mgs, Cycles(m));
+            ProcResult {
+                start: Cycles(0),
+                end: Cycles(100),
+                account,
+            }
+        };
+        let r = RunReport::from_procs(
+            vec![mk(4, 3, 5, 2), mk(3, 3, 3, 3), mk(4, 5, 3, 6)],
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+            None,
+        );
+        let grand: u64 = [4 + 3 + 4, 3 + 3 + 5, 5 + 3 + 3, 2 + 3 + 6].iter().sum();
+        assert_eq!(r.breakdown.total(), Cycles(grand / 3));
+        // Each category stays within 1 cycle of its exact mean.
+        for (c, s) in [
+            (CostCategory::User, 11u64),
+            (CostCategory::Lock, 11),
+            (CostCategory::Barrier, 11),
+            (CostCategory::Mgs, 11),
+        ] {
+            let got = r.breakdown.get(c).raw();
+            assert!(got == s / 3 || got == s / 3 + 1, "{c:?}: {got}");
+        }
+    }
+
+    #[test]
     fn hit_ratio_defaults_to_one() {
-        let r = RunReport::from_procs(vec![result(0, 1, 1)], (0, 0), (0, 0), (0, 0, 0));
+        let r = RunReport::from_procs(vec![result(0, 1, 1)], (0, 0), (0, 0), (0, 0, 0), None);
         assert_eq!(r.lock_hit_ratio(), 1.0);
-        let r2 = RunReport::from_procs(vec![result(0, 1, 1)], (10, 4), (0, 0), (0, 0, 0));
+        let r2 = RunReport::from_procs(vec![result(0, 1, 1)], (10, 4), (0, 0), (0, 0, 0), None);
         assert!((r2.lock_hit_ratio() - 0.4).abs() < 1e-12);
     }
 
     #[test]
     fn display_contains_all_categories() {
-        let r = RunReport::from_procs(vec![result(0, 10, 10)], (0, 0), (0, 0), (0, 0, 0));
+        let r = RunReport::from_procs(vec![result(0, 10, 10)], (0, 0), (0, 0), (0, 0, 0), None);
         let s = r.to_string();
         for label in ["User", "Lock", "Barrier", "MGS"] {
             assert!(s.contains(label), "missing {label}");

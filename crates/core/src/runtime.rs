@@ -1,17 +1,61 @@
 //! The runtime [`ProtoTiming`] implementation: charges protocol work to
 //! the faulting processor's clock, serializes handler work on remote
 //! protocol engines, and routes inter-SSMP messages through the LAN.
+//!
+//! It is also the point where the protocol's structured
+//! [`ObsEvent`](mgs_obs::ObsEvent) stream fans out to the machine's
+//! observability sink (metrics registry + sharing profiler) and, when
+//! tracing, to the structured trace. Everything on that path is a
+//! host-side side channel: no simulated clock is touched, and the open
+//! transaction spans live in a fixed-size stack so observing a
+//! steady-state access allocates nothing.
 
 use crate::trace::{TraceEvent, TraceKind};
 use crate::Machine;
 use mgs_net::{Delivery, MsgKind};
+use mgs_obs::{LatencyClass, Metric, ObsEvent, XactKind, XactOutcome};
 use mgs_proto::{ProtoTiming, SendOutcome};
 use mgs_sim::{CostCategory, Cycles, ProcClock};
+
+/// Open-span stack depth. Protocol transactions never nest more than a
+/// release inside a DUQ drain; 8 leaves generous headroom and keeps the
+/// stack inline (no allocation).
+const XACT_DEPTH: usize = 8;
 
 pub(crate) struct RuntimeTiming<'a> {
     pub clock: &'a mut ProcClock,
     pub machine: &'a Machine,
     pub proc: usize,
+    /// Open transaction spans: `(kind, page, begin)`.
+    xacts: [(XactKind, u64, Cycles); XACT_DEPTH],
+    depth: usize,
+}
+
+impl<'a> RuntimeTiming<'a> {
+    pub fn new(clock: &'a mut ProcClock, machine: &'a Machine, proc: usize) -> RuntimeTiming<'a> {
+        RuntimeTiming {
+            clock,
+            machine,
+            proc,
+            xacts: [(XactKind::ReadFault, 0, Cycles::ZERO); XACT_DEPTH],
+            depth: 0,
+        }
+    }
+
+    /// Pops the innermost open span matching `(xact, page)` and returns
+    /// its begin time (tolerates unbalanced ends by searching downward).
+    fn close_span(&mut self, xact: XactKind, page: u64) -> Option<Cycles> {
+        for i in (0..self.depth).rev() {
+            if self.xacts[i].0 == xact && self.xacts[i].1 == page {
+                let begin = self.xacts[i].2;
+                // Drop this frame and anything opened above it (aborted
+                // spans never see their end).
+                self.depth = i;
+                return Some(begin);
+            }
+        }
+        None
+    }
 }
 
 impl ProtoTiming for RuntimeTiming<'_> {
@@ -41,6 +85,9 @@ impl ProtoTiming for RuntimeTiming<'_> {
             self.clock.charge(CostCategory::Mgs, cost.intra_msg);
             return;
         }
+        if let Some(obs) = self.machine.obs() {
+            obs.registry.count_lan(self.proc, kind);
+        }
         self.clock.charge(CostCategory::Mgs, cost.msg_send);
         let arrival = self
             .machine
@@ -51,21 +98,36 @@ impl ProtoTiming for RuntimeTiming<'_> {
     }
 
     fn node_work(&mut self, node: usize, cycles: Cycles) {
-        if self.machine.tracing() {
-            self.machine.record_trace(TraceEvent {
-                proc: self.proc,
-                time: self.clock.now(),
-                kind: TraceKind::NodeWork { node, cycles },
-            });
-        }
         if node == self.proc {
             // Work on the requesting processor itself.
+            if self.machine.tracing() {
+                self.machine.record_trace(TraceEvent {
+                    proc: self.proc,
+                    time: self.clock.now(),
+                    kind: TraceKind::NodeWork {
+                        node,
+                        start: self.clock.now(),
+                        cycles,
+                    },
+                });
+            }
             self.clock.charge(CostCategory::Mgs, cycles);
             return;
         }
         // Serialize on the remote node's protocol engine; contention
         // shows up as queueing delay on the requester's clock.
-        let (_, end) = self.machine.engines()[node].occupy(self.clock.now(), cycles);
+        let (start, end) = self.machine.engines()[node].occupy(self.clock.now(), cycles);
+        if self.machine.tracing() {
+            self.machine.record_trace(TraceEvent {
+                proc: self.proc,
+                time: self.clock.now(),
+                kind: TraceKind::NodeWork {
+                    node,
+                    start,
+                    cycles,
+                },
+            });
+        }
         self.clock.advance_to(CostCategory::Mgs, end);
     }
 
@@ -86,6 +148,11 @@ impl ProtoTiming for RuntimeTiming<'_> {
             self.message(from, to, kind, payload_bytes);
             return SendOutcome::Delivered { duplicates: 0 };
         }
+        // One transmission enters the fabric whatever its fate, matching
+        // `NetStats`' counting rule.
+        if let Some(obs) = self.machine.obs() {
+            obs.registry.count_lan(self.proc, kind);
+        }
         let cost = &self.machine.config().cost;
         self.clock.charge(CostCategory::Mgs, cost.msg_send);
         let delivery = self
@@ -97,6 +164,12 @@ impl ProtoTiming for RuntimeTiming<'_> {
                 arrival,
                 duplicates,
             } => {
+                if duplicates > 0 {
+                    if let Some(obs) = self.machine.obs() {
+                        obs.registry
+                            .count(self.proc, Metric::LanDuplicates, u64::from(duplicates));
+                    }
+                }
                 if self.machine.tracing() {
                     self.machine.record_trace(TraceEvent {
                         proc: self.proc,
@@ -126,6 +199,9 @@ impl ProtoTiming for RuntimeTiming<'_> {
                 SendOutcome::Delivered { duplicates }
             }
             Delivery::Dropped => {
+                if let Some(obs) = self.machine.obs() {
+                    obs.registry.count(self.proc, Metric::LanDrops, 1);
+                }
                 if self.machine.tracing() {
                     self.machine.record_trace(TraceEvent {
                         proc: self.proc,
@@ -144,6 +220,11 @@ impl ProtoTiming for RuntimeTiming<'_> {
     }
 
     fn retry_wait(&mut self, from: usize, to: usize, kind: MsgKind, attempt: u32, wait: Cycles) {
+        if let Some(obs) = self.machine.obs() {
+            obs.registry.count(self.proc, Metric::Retries, 1);
+            obs.registry
+                .record_latency(self.proc, LatencyClass::RetryBackoff, wait);
+        }
         if self.machine.tracing() {
             self.machine.record_trace(TraceEvent {
                 proc: self.proc,
@@ -169,6 +250,106 @@ impl ProtoTiming for RuntimeTiming<'_> {
     fn block_end(&mut self) {
         if let Some(gov) = self.machine.governor() {
             gov.unblocked(self.proc);
+        }
+    }
+
+    fn observing(&self) -> bool {
+        self.machine.obs().is_some() || self.machine.tracing()
+    }
+
+    fn observe(&mut self, event: ObsEvent) {
+        // Span bookkeeping happens even when only tracing is on, so the
+        // structured trace always carries balanced begin/end pairs.
+        match event {
+            ObsEvent::XactBegin { xact, page } => {
+                if self.depth < XACT_DEPTH {
+                    self.xacts[self.depth] = (xact, page, self.clock.now());
+                    self.depth += 1;
+                }
+                if self.machine.tracing() {
+                    self.machine.record_trace(TraceEvent {
+                        proc: self.proc,
+                        time: self.clock.now(),
+                        kind: TraceKind::XactBegin { xact, page },
+                    });
+                }
+            }
+            ObsEvent::XactEnd {
+                xact,
+                page,
+                outcome,
+            } => {
+                let begin = self.close_span(xact, page);
+                if let Some(obs) = self.machine.obs() {
+                    let (metric, class) = match outcome {
+                        XactOutcome::TlbFill => {
+                            (Some(Metric::TlbFills), Some(LatencyClass::TlbFill))
+                        }
+                        XactOutcome::ReadMiss => {
+                            (Some(Metric::ReadMisses), Some(LatencyClass::ReadMiss))
+                        }
+                        XactOutcome::WriteMiss => {
+                            (Some(Metric::WriteMisses), Some(LatencyClass::WriteMiss))
+                        }
+                        XactOutcome::Upgrade => {
+                            (Some(Metric::Upgrades), Some(LatencyClass::Upgrade))
+                        }
+                        XactOutcome::Released => {
+                            (Some(Metric::PagesReleased), Some(LatencyClass::PageRelease))
+                        }
+                        XactOutcome::Aborted => (Some(Metric::XactAborts), None),
+                    };
+                    if let Some(m) = metric {
+                        obs.registry.count(self.proc, m, 1);
+                    }
+                    if let (Some(c), Some(begin)) = (class, begin) {
+                        obs.registry.record_latency(
+                            self.proc,
+                            c,
+                            self.clock.now().saturating_sub(begin),
+                        );
+                    }
+                    let ssmp = self.machine.config().ssmp_of(self.proc);
+                    obs.profiler.record(ssmp, &event);
+                }
+                if self.machine.tracing() {
+                    self.machine.record_trace(TraceEvent {
+                        proc: self.proc,
+                        time: self.clock.now(),
+                        kind: TraceKind::XactEnd {
+                            xact,
+                            page,
+                            outcome,
+                        },
+                    });
+                }
+            }
+            // Everything else: a counter bump plus per-page attribution.
+            _ => {
+                if let Some(obs) = self.machine.obs() {
+                    let metric = match event {
+                        ObsEvent::TwinCreate { .. } => Some(Metric::TwinCreates),
+                        ObsEvent::Diff { words, spans, .. } => {
+                            obs.registry.count(self.proc, Metric::DiffWords, words);
+                            obs.registry.count(self.proc, Metric::DiffSpans, spans);
+                            Some(Metric::DiffsSent)
+                        }
+                        ObsEvent::DiffLine { .. } => None,
+                        ObsEvent::Invalidate { .. } => Some(Metric::Invalidations),
+                        ObsEvent::SingleWriterFlush { .. } => Some(Metric::SingleWriterFlushes),
+                        ObsEvent::SingleWriterBreak { .. } => Some(Metric::SingleWriterBreaks),
+                        ObsEvent::DuqFlush { .. } => Some(Metric::DuqFlushes),
+                        ObsEvent::LazyNotice { .. } => Some(Metric::LazyNotices),
+                        ObsEvent::Pinv { .. } => Some(Metric::Pinvs),
+                        ObsEvent::XactBegin { .. } | ObsEvent::XactEnd { .. } => unreachable!(),
+                    };
+                    if let Some(m) = metric {
+                        obs.registry.count(self.proc, m, 1);
+                    }
+                    let ssmp = self.machine.config().ssmp_of(self.proc);
+                    obs.profiler.record(ssmp, &event);
+                }
+            }
         }
     }
 }

@@ -10,6 +10,7 @@
 //! example for the single-transaction flavour).
 
 use mgs_net::MsgKind;
+use mgs_obs::{PerfettoTrace, XactKind, XactOutcome};
 use mgs_sim::Cycles;
 use std::fmt;
 
@@ -43,8 +44,30 @@ pub enum TraceKind {
     NodeWork {
         /// Global processor id of the engine.
         node: usize,
+        /// When the engine began serving this work (for remote engines,
+        /// the occupancy-granted instant — queueing delay is the gap
+        /// between the requester's time and this).
+        start: Cycles,
         /// Service time.
         cycles: Cycles,
+    },
+    /// A protocol transaction span opened (fault or page release; see
+    /// [`XactKind`]). `time` is the span's start on the acting
+    /// processor's clock.
+    XactBegin {
+        /// Transaction class.
+        xact: XactKind,
+        /// The virtual page operated on.
+        page: u64,
+    },
+    /// The matching transaction span closed; `time` is the end.
+    XactEnd {
+        /// Transaction class.
+        xact: XactKind,
+        /// The virtual page operated on.
+        page: u64,
+        /// How the transaction resolved.
+        outcome: XactOutcome,
     },
     /// A transmission lost by the fault-injecting fabric (the sender
     /// will time out and retransmit).
@@ -74,6 +97,126 @@ pub enum TraceKind {
     },
 }
 
+/// Converts a machine trace into Chrome/Perfetto `trace_event` JSON,
+/// loadable in `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Track layout: one Perfetto *process* per SSMP, and within it two
+/// *threads* per simulated processor — `proc p` carrying that
+/// processor's transaction spans (fault begin → TLB installed, release
+/// begin → RACK) and instant events (messages, drops, retries), and
+/// `engine p` carrying the protocol engine's occupancy slices (whose
+/// gaps from the requester's time are queueing delay). Timestamps map 1
+/// simulated cycle to 1 µs.
+///
+/// Events are grouped per acting processor in recording order (each
+/// processor's clock is monotonic, which is what Perfetto's begin/end
+/// stack pairing needs); different processors' clocks are only loosely
+/// ordered, exactly as on the simulated machine.
+pub fn export_perfetto(events: &[TraceEvent], n_procs: usize, cluster_size: usize) -> String {
+    let cluster = cluster_size.max(1);
+    let mut t = PerfettoTrace::new();
+    for ssmp in 0..n_procs.div_ceil(cluster) {
+        t.process_name(ssmp as u64, &format!("ssmp {ssmp}"));
+    }
+    for proc in 0..n_procs {
+        let pid = (proc / cluster) as u64;
+        t.thread_name(pid, (2 * proc) as u64, &format!("proc {proc}"));
+        t.thread_name(pid, (2 * proc + 1) as u64, &format!("engine {proc}"));
+    }
+    for proc in 0..n_procs {
+        let pid = (proc / cluster) as u64;
+        let tid = (2 * proc) as u64;
+        for e in events.iter().filter(|e| e.proc == proc) {
+            let ts = e.time.raw();
+            match &e.kind {
+                TraceKind::XactBegin { xact, page } => {
+                    t.begin(pid, tid, ts, xact.label(), &[("page", (*page).into())]);
+                }
+                TraceKind::XactEnd { outcome, .. } => {
+                    // Aborts still close their span; the outcome is
+                    // visible as the preceding instant.
+                    t.instant(pid, tid, ts, outcome.label(), &[]);
+                    t.end(pid, tid, ts);
+                }
+                TraceKind::Message {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                } => {
+                    t.instant(
+                        pid,
+                        tid,
+                        ts,
+                        kind.name(),
+                        &[
+                            ("from_ssmp", (*from).into()),
+                            ("to_ssmp", (*to).into()),
+                            ("bytes", (*bytes).into()),
+                        ],
+                    );
+                }
+                TraceKind::NodeWork {
+                    node,
+                    start,
+                    cycles,
+                } => {
+                    t.complete(
+                        (*node / cluster) as u64,
+                        (2 * node + 1) as u64,
+                        start.raw(),
+                        cycles.raw(),
+                        "handler",
+                        &[("requester", proc.into())],
+                    );
+                }
+                TraceKind::Fault {
+                    from,
+                    to,
+                    kind,
+                    duplicates,
+                } => {
+                    let name = if *duplicates == 0 {
+                        "drop"
+                    } else {
+                        "duplicate"
+                    };
+                    t.instant(
+                        pid,
+                        tid,
+                        ts,
+                        name,
+                        &[
+                            ("kind", kind.name().into()),
+                            ("from_ssmp", (*from).into()),
+                            ("to_ssmp", (*to).into()),
+                        ],
+                    );
+                }
+                TraceKind::Retry {
+                    kind,
+                    attempt,
+                    wait,
+                    ..
+                } => {
+                    t.instant(
+                        pid,
+                        tid,
+                        ts,
+                        "retry",
+                        &[
+                            ("kind", kind.name().into()),
+                            ("attempt", (*attempt as u64).into()),
+                            ("wait_cycles", wait.raw().into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    t.finish()
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
@@ -88,12 +231,36 @@ impl fmt::Display for TraceEvent {
                 self.proc,
                 self.time.raw()
             ),
-            TraceKind::NodeWork { node, cycles } => write!(
+            TraceKind::NodeWork {
+                node,
+                start,
+                cycles,
+            } => write!(
                 f,
-                "[p{:02} @{:>10}] handler at node {node} ({} cyc)",
+                "[p{:02} @{:>10}] handler at node {node} ({} cyc from {})",
                 self.proc,
                 self.time.raw(),
-                cycles.raw()
+                cycles.raw(),
+                start.raw()
+            ),
+            TraceKind::XactBegin { xact, page } => write!(
+                f,
+                "[p{:02} @{:>10}] begin {} page {page}",
+                self.proc,
+                self.time.raw(),
+                xact.label()
+            ),
+            TraceKind::XactEnd {
+                xact,
+                page,
+                outcome,
+            } => write!(
+                f,
+                "[p{:02} @{:>10}] end   {} page {page} -> {}",
+                self.proc,
+                self.time.raw(),
+                xact.label(),
+                outcome.label()
             ),
             TraceKind::Fault {
                 from,

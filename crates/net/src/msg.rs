@@ -112,7 +112,12 @@ impl MsgKind {
         )
     }
 
-    pub(crate) fn index(self) -> usize {
+    /// Number of message kinds (the length of [`MsgKind::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this kind (its position in [`MsgKind::ALL`]),
+    /// for external per-kind counter arrays.
+    pub fn index(self) -> usize {
         Self::ALL.iter().position(|&k| k == self).expect("in ALL")
     }
 }

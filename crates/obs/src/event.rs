@@ -1,0 +1,161 @@
+//! The structured protocol-event vocabulary.
+//!
+//! `mgs-proto`'s engines emit these through the `ProtoTiming::observe`
+//! hook as their transactions execute; the runtime forwards them to the
+//! [`ObsRegistry`](crate::ObsRegistry), the
+//! [`SharingProfiler`](crate::SharingProfiler) and (when tracing) the
+//! machine's structured trace. Every variant is `Copy` and carries only
+//! scalars, so emitting one allocates nothing.
+
+/// A protocol transaction class, for span begin/end bracketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XactKind {
+    /// A read TLB fault (`RTLBFault` of Table 1).
+    ReadFault,
+    /// A write TLB fault (`WTLBFault`).
+    WriteFault,
+    /// The release of one page off a delayed update queue (arcs 8,
+    /// 20–23, 9).
+    Release,
+}
+
+impl XactKind {
+    /// Human-readable span label.
+    pub fn label(self) -> &'static str {
+        match self {
+            XactKind::ReadFault => "read_fault",
+            XactKind::WriteFault => "write_fault",
+            XactKind::Release => "release_page",
+        }
+    }
+}
+
+/// How a bracketed transaction resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XactOutcome {
+    /// The fault was satisfied by an existing local mapping (arcs 1/3:
+    /// a TLB fill, no inter-SSMP communication).
+    TlbFill,
+    /// A fresh read copy was fetched from the home (arcs 5→17→6).
+    ReadMiss,
+    /// A fresh write copy was fetched from the home (arcs 5→18→7).
+    WriteMiss,
+    /// A READ copy was upgraded to WRITE privilege in place (arcs 2,
+    /// 13, 18).
+    Upgrade,
+    /// A page release completed (diff merged or data flushed, RACK
+    /// received).
+    Released,
+    /// The transaction aborted (transport retries exhausted).
+    Aborted,
+}
+
+impl XactOutcome {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            XactOutcome::TlbFill => "tlb_fill",
+            XactOutcome::ReadMiss => "read_miss",
+            XactOutcome::WriteMiss => "write_miss",
+            XactOutcome::Upgrade => "upgrade",
+            XactOutcome::Released => "released",
+            XactOutcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// One structured protocol event, emitted by the engines at the instant
+/// the corresponding state transition happens (with its page-level
+/// attribution, which the flat `ProtoStats` counters lack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A bracketed transaction began.
+    XactBegin {
+        /// Transaction class.
+        xact: XactKind,
+        /// The virtual page being operated on.
+        page: u64,
+    },
+    /// The matching transaction ended.
+    XactEnd {
+        /// Transaction class (matches the innermost open begin).
+        xact: XactKind,
+        /// The virtual page being operated on.
+        page: u64,
+        /// How it resolved.
+        outcome: XactOutcome,
+    },
+    /// A twin was created for a page (arc 13, or a write fill's arrived
+    /// image being kept as the twin).
+    TwinCreate {
+        /// The twinned page.
+        page: u64,
+        /// The SSMP holding the twin.
+        ssmp: usize,
+    },
+    /// A diff was computed and shipped to the home (arc 16, `tt == 2`).
+    Diff {
+        /// The released page.
+        page: u64,
+        /// The writer SSMP that produced the diff.
+        ssmp: usize,
+        /// Changed words carried.
+        words: u64,
+        /// Contiguous runs the changed words coalesced into.
+        spans: u64,
+    },
+    /// One cache line of the home copy received diffed words (emitted
+    /// once per touched line, page-relative index).
+    DiffLine {
+        /// The released page.
+        page: u64,
+        /// Page-relative line index (0-based).
+        line: u64,
+    },
+    /// A client copy was invalidated (arc 14).
+    Invalidate {
+        /// The invalidated page.
+        page: u64,
+        /// The SSMP that lost its copy.
+        ssmp: usize,
+        /// `true` when the copy held WRITE privilege.
+        writer: bool,
+    },
+    /// A single-writer flush shipped the whole page (1WINV/1WDATA, arc
+    /// 16 with `tt == 3`).
+    SingleWriterFlush {
+        /// The flushed page.
+        page: u64,
+        /// The (sole) writer SSMP.
+        ssmp: usize,
+    },
+    /// A page left single-writer mode: a second SSMP acquired write
+    /// privilege, so the next release takes the multi-writer diff path.
+    SingleWriterBreak {
+        /// The page gaining its second writer.
+        page: u64,
+        /// The SSMP of the new writer.
+        ssmp: usize,
+    },
+    /// A delayed update queue was drained at a release point.
+    DuqFlush {
+        /// The releasing global processor.
+        proc: usize,
+        /// Pages drained from the queue.
+        pages: u64,
+    },
+    /// A lazy-invalidation write notice was posted to a reader SSMP.
+    LazyNotice {
+        /// The noticed page.
+        page: u64,
+        /// The reader SSMP that will drop its copy at its next acquire.
+        ssmp: usize,
+    },
+    /// One TLB entry was shot down (PINV, arcs 11/12/15).
+    Pinv {
+        /// The unmapped page.
+        page: u64,
+        /// The global processor whose TLB entry was invalidated.
+        proc: usize,
+    },
+}

@@ -1,0 +1,66 @@
+//! Zero-perturbation observability for the MGS reproduction.
+//!
+//! The paper explains each application's breakup penalty and multigrain
+//! curvature by characterizing its *sharing behaviour* — which pages are
+//! write-shared, how often copies are invalidated, how much data diffs
+//! carry, where lock tokens travel (§5, Figures 6–12). This crate is the
+//! diagnostic substrate that lets the reproduction tell the same
+//! stories:
+//!
+//! * [`ObsRegistry`] — typed event counters and log2-bucketed latency
+//!   histograms, sharded per simulated processor and merged into a
+//!   [`MetricsReport`] at the end of a run.
+//! * [`SharingProfiler`] — attributes protocol events per page (and
+//!   diffed words per cache line), producing the top-N hot pages with
+//!   sharer counts and invalidation rates ([`SharingReport`]).
+//! * [`PerfettoTrace`] — a builder for Chrome/Perfetto `trace_event`
+//!   JSON, so a run's protocol timeline can be scrubbed in
+//!   `ui.perfetto.dev`.
+//! * [`ObsEvent`] — the structured protocol-event vocabulary the
+//!   `mgs-proto` engines emit through their timing hook.
+//!
+//! # The zero-perturbation invariant
+//!
+//! Nothing in this crate ever touches a simulated clock: every recorder
+//! is a host-side side channel. Enabling full metrics and tracing leaves
+//! simulated cycle counts **bit-identical** to an uninstrumented run
+//! (gated by `tests/observability.rs` in the workspace root), and the
+//! counter fast path — an index into a pre-sized per-processor shard
+//! plus a relaxed atomic add — performs no heap allocation on the
+//! per-access hot path (gated by `tests/obs_zero_alloc.rs`).
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod metrics;
+mod perfetto;
+mod profiler;
+
+pub use event::{ObsEvent, XactKind, XactOutcome};
+pub use metrics::{HistSummary, LatencyClass, Metric, MetricsReport, ObsRegistry};
+pub use perfetto::PerfettoTrace;
+pub use profiler::{PageProfile, SharingProfiler, SharingReport};
+
+/// The pair of recorders a machine carries when observability is
+/// enabled: the counter/histogram registry and the per-page sharing
+/// profiler. One `ObsSink` exists per machine; the runtime and the
+/// protocol feed it through [`ObsEvent`]s and direct counter calls.
+#[derive(Debug)]
+pub struct ObsSink {
+    /// Typed counters and latency histograms, sharded per processor.
+    pub registry: ObsRegistry,
+    /// Per-page (and per-line) protocol-event attribution.
+    pub profiler: SharingProfiler,
+}
+
+impl ObsSink {
+    /// Creates a sink for a machine of `n_procs` processors whose pages
+    /// hold `lines_per_page` cache lines.
+    pub fn new(n_procs: usize, lines_per_page: usize) -> ObsSink {
+        ObsSink {
+            registry: ObsRegistry::new(n_procs),
+            profiler: SharingProfiler::new(lines_per_page),
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! The metrics registry: typed counters and log2-bucketed latency
+//! histograms, sharded per simulated processor.
+//!
+//! The recording fast path is one array index plus one relaxed atomic
+//! add into the calling processor's own shard — no lock, no allocation,
+//! and (since each simulated processor runs on its own host thread) no
+//! cache-line contention. Shards are merged into an immutable
+//! [`MetricsReport`] when the run finishes.
+
+use mgs_net::MsgKind;
+use mgs_sim::Cycles;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Typed event counters, one per protocol event class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Shared-memory loads issued through the simulated memory system.
+    Loads,
+    /// Shared-memory stores issued.
+    Stores,
+    /// Hardware accesses that hit the processor's own cache.
+    HwHit,
+    /// Hardware misses satisfied by local memory.
+    HwLocalMiss,
+    /// Hardware misses satisfied by a remote node, line clean.
+    HwRemoteClean,
+    /// Two-party hardware misses (dirty at home, or write upgrade).
+    HwTwoParty,
+    /// Three-party hardware misses.
+    HwThreeParty,
+    /// Hardware misses through the software directory (LimitLESS).
+    HwSwDirectory,
+    /// Faults satisfied by an existing local mapping (arcs 1/3).
+    TlbFills,
+    /// Inter-SSMP read misses (arcs 5→17→6).
+    ReadMisses,
+    /// Inter-SSMP write misses (arcs 5→18→7).
+    WriteMisses,
+    /// Read-to-write privilege upgrades (arcs 2/13/18).
+    Upgrades,
+    /// Twins created (upgrade twinning plus write-fill images kept).
+    TwinCreates,
+    /// Diffs computed and shipped to homes.
+    DiffsSent,
+    /// Total changed words carried by those diffs.
+    DiffWords,
+    /// Total contiguous spans those diffs coalesced into.
+    DiffSpans,
+    /// Single-writer whole-page flushes (1WINV/1WDATA).
+    SingleWriterFlushes,
+    /// Pages that left single-writer mode (second writer joined).
+    SingleWriterBreaks,
+    /// Delayed-update-queue drains performed at release points.
+    DuqFlushes,
+    /// Pages released (summed over all DUQ drains).
+    PagesReleased,
+    /// Client page copies invalidated.
+    Invalidations,
+    /// TLB entries shot down by PINV.
+    Pinvs,
+    /// Lazy-invalidation write notices posted.
+    LazyNotices,
+    /// MGS lock acquires satisfied inside the requesting SSMP.
+    LockAcquiresLocal,
+    /// MGS lock acquires that moved the token between SSMPs.
+    LockAcquiresRemote,
+    /// Intra-SSMP hardware-lock acquires.
+    HwLockAcquires,
+    /// Machine-wide barrier arrivals.
+    BarrierArrivals,
+    /// Transmissions lost by the fault-injecting fabric.
+    LanDrops,
+    /// Fabric-injected duplicate copies delivered.
+    LanDuplicates,
+    /// Protocol retransmissions after a timeout.
+    Retries,
+    /// Transactions aborted after exhausting their retry budget.
+    XactAborts,
+}
+
+impl Metric {
+    /// Every metric, in display order.
+    pub const ALL: [Metric; 31] = [
+        Metric::Loads,
+        Metric::Stores,
+        Metric::HwHit,
+        Metric::HwLocalMiss,
+        Metric::HwRemoteClean,
+        Metric::HwTwoParty,
+        Metric::HwThreeParty,
+        Metric::HwSwDirectory,
+        Metric::TlbFills,
+        Metric::ReadMisses,
+        Metric::WriteMisses,
+        Metric::Upgrades,
+        Metric::TwinCreates,
+        Metric::DiffsSent,
+        Metric::DiffWords,
+        Metric::DiffSpans,
+        Metric::SingleWriterFlushes,
+        Metric::SingleWriterBreaks,
+        Metric::DuqFlushes,
+        Metric::PagesReleased,
+        Metric::Invalidations,
+        Metric::Pinvs,
+        Metric::LazyNotices,
+        Metric::LockAcquiresLocal,
+        Metric::LockAcquiresRemote,
+        Metric::HwLockAcquires,
+        Metric::BarrierArrivals,
+        Metric::LanDrops,
+        Metric::LanDuplicates,
+        Metric::Retries,
+        Metric::XactAborts,
+    ];
+
+    /// Number of metrics.
+    pub const COUNT: usize = Metric::ALL.len();
+
+    /// Dense index of this metric (its position in [`Metric::ALL`]).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Loads => "loads",
+            Metric::Stores => "stores",
+            Metric::HwHit => "hw_hits",
+            Metric::HwLocalMiss => "hw_local_misses",
+            Metric::HwRemoteClean => "hw_remote_clean_misses",
+            Metric::HwTwoParty => "hw_two_party_misses",
+            Metric::HwThreeParty => "hw_three_party_misses",
+            Metric::HwSwDirectory => "hw_sw_directory_misses",
+            Metric::TlbFills => "tlb_fills",
+            Metric::ReadMisses => "read_misses",
+            Metric::WriteMisses => "write_misses",
+            Metric::Upgrades => "upgrades",
+            Metric::TwinCreates => "twin_creates",
+            Metric::DiffsSent => "diffs_sent",
+            Metric::DiffWords => "diff_words",
+            Metric::DiffSpans => "diff_spans",
+            Metric::SingleWriterFlushes => "single_writer_flushes",
+            Metric::SingleWriterBreaks => "single_writer_breaks",
+            Metric::DuqFlushes => "duq_flushes",
+            Metric::PagesReleased => "pages_released",
+            Metric::Invalidations => "invalidations",
+            Metric::Pinvs => "pinvs",
+            Metric::LazyNotices => "lazy_notices",
+            Metric::LockAcquiresLocal => "lock_acquires_local",
+            Metric::LockAcquiresRemote => "lock_acquires_remote",
+            Metric::HwLockAcquires => "hw_lock_acquires",
+            Metric::BarrierArrivals => "barrier_arrivals",
+            Metric::LanDrops => "lan_drops",
+            Metric::LanDuplicates => "lan_duplicates",
+            Metric::Retries => "retries",
+            Metric::XactAborts => "xact_aborts",
+        }
+    }
+}
+
+/// Latency histogram classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyClass {
+    /// Fault resolved by a local mapping (TLB-fill latency).
+    TlbFill,
+    /// Inter-SSMP read-miss latency (fault entry → TLB installed).
+    ReadMiss,
+    /// Inter-SSMP write-miss latency.
+    WriteMiss,
+    /// Upgrade latency.
+    Upgrade,
+    /// Per-page release latency (REL → RACK).
+    PageRelease,
+    /// MGS lock acquisition wait.
+    LockWait,
+    /// Barrier wait (arrival → release).
+    BarrierWait,
+    /// Retransmission backoff waits.
+    RetryBackoff,
+}
+
+impl LatencyClass {
+    /// Every class, in display order.
+    pub const ALL: [LatencyClass; 8] = [
+        LatencyClass::TlbFill,
+        LatencyClass::ReadMiss,
+        LatencyClass::WriteMiss,
+        LatencyClass::Upgrade,
+        LatencyClass::PageRelease,
+        LatencyClass::LockWait,
+        LatencyClass::BarrierWait,
+        LatencyClass::RetryBackoff,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = LatencyClass::ALL.len();
+
+    /// Dense index of this class.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyClass::TlbFill => "tlb_fill",
+            LatencyClass::ReadMiss => "read_miss",
+            LatencyClass::WriteMiss => "write_miss",
+            LatencyClass::Upgrade => "upgrade",
+            LatencyClass::PageRelease => "page_release",
+            LatencyClass::LockWait => "lock_wait",
+            LatencyClass::BarrierWait => "barrier_wait",
+            LatencyClass::RetryBackoff => "retry_backoff",
+        }
+    }
+}
+
+/// Number of log2 buckets per histogram: bucket `i` holds samples whose
+/// value's bit length is `i` (bucket 0 = value 0, bucket 1 = 1, bucket
+/// 2 = 2–3, bucket `i` = `2^(i-1)..2^i`).
+pub const HIST_BUCKETS: usize = 65;
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// One live log2-bucketed histogram (all-atomic; recording is a single
+/// relaxed add per field).
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// One processor's private slice of the registry.
+#[derive(Debug)]
+#[repr(align(128))]
+struct ProcShard {
+    counters: [AtomicU64; Metric::COUNT],
+    lan: [AtomicU64; MsgKind::COUNT],
+    hists: [Histogram; LatencyClass::COUNT],
+}
+
+impl ProcShard {
+    fn new() -> ProcShard {
+        ProcShard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            lan: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
+
+/// The live metrics registry: one cache-line-aligned shard per
+/// simulated processor, all storage pre-sized at construction.
+///
+/// # Example
+///
+/// ```
+/// use mgs_obs::{LatencyClass, Metric, ObsRegistry};
+/// use mgs_sim::Cycles;
+///
+/// let reg = ObsRegistry::new(2);
+/// reg.count(0, Metric::Loads, 3);
+/// reg.count(1, Metric::Loads, 1);
+/// reg.record_latency(0, LatencyClass::ReadMiss, Cycles(4096));
+/// let report = reg.merge();
+/// assert_eq!(report.get(Metric::Loads), 4);
+/// assert_eq!(report.hist(LatencyClass::ReadMiss).count, 1);
+/// ```
+#[derive(Debug)]
+pub struct ObsRegistry {
+    shards: Vec<ProcShard>,
+}
+
+impl ObsRegistry {
+    /// Creates a registry for `n_procs` processors.
+    pub fn new(n_procs: usize) -> ObsRegistry {
+        ObsRegistry {
+            shards: (0..n_procs.max(1)).map(|_| ProcShard::new()).collect(),
+        }
+    }
+
+    /// Adds `n` to `metric` in processor `proc`'s shard.
+    #[inline]
+    pub fn count(&self, proc: usize, metric: Metric, n: u64) {
+        self.shards[proc].counters[metric.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one inter-SSMP transmission of `kind` attributed to
+    /// processor `proc`.
+    #[inline]
+    pub fn count_lan(&self, proc: usize, kind: MsgKind) {
+        self.shards[proc].lan[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a simulated-latency sample in `class`'s histogram.
+    #[inline]
+    pub fn record_latency(&self, proc: usize, class: LatencyClass, latency: Cycles) {
+        self.shards[proc].hists[class.index()].record(latency.raw());
+    }
+
+    /// Merges every shard into an immutable report.
+    pub fn merge(&self) -> MetricsReport {
+        let mut counters = [0u64; Metric::COUNT];
+        let mut lan = [0u64; MsgKind::COUNT];
+        let mut hists: [HistSummary; LatencyClass::COUNT] =
+            std::array::from_fn(|_| HistSummary::default());
+        for shard in &self.shards {
+            for (i, c) in shard.counters.iter().enumerate() {
+                counters[i] += c.load(Ordering::Relaxed);
+            }
+            for (i, c) in shard.lan.iter().enumerate() {
+                lan[i] += c.load(Ordering::Relaxed);
+            }
+            for (i, h) in shard.hists.iter().enumerate() {
+                for (b, c) in h.buckets.iter().enumerate() {
+                    hists[i].buckets[b] += c.load(Ordering::Relaxed);
+                }
+                hists[i].count += h.count.load(Ordering::Relaxed);
+                hists[i].sum += h.sum.load(Ordering::Relaxed);
+            }
+        }
+        MetricsReport {
+            counters,
+            lan,
+            hists,
+        }
+    }
+}
+
+/// A merged (plain-integer) histogram.
+#[derive(Debug, Clone)]
+pub struct HistSummary {
+    /// Per-bucket sample counts (log2 buckets: bucket `i > 0` holds
+    /// values whose bit length is `i`; bucket 0 holds zero).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+}
+
+impl Default for HistSummary {
+    fn default() -> HistSummary {
+        HistSummary {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistSummary {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile sample
+    /// (`q` in 0..=1), or 0 when empty. Log2 buckets make this exact to
+    /// within a factor of two — enough to separate a 40-cycle TLB fill
+    /// from a 4000-cycle two-crossing miss.
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i <= 1 { i as u64 } else { 1u64 << (i - 1) };
+            }
+        }
+        0
+    }
+}
+
+/// Immutable merged metrics for one run.
+///
+/// Attached to `RunReport::metrics` by the runtime when observability
+/// is enabled; also available mid-run via `ObsRegistry::merge`.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    counters: [u64; Metric::COUNT],
+    lan: [u64; MsgKind::COUNT],
+    hists: [HistSummary; LatencyClass::COUNT],
+}
+
+impl MetricsReport {
+    /// Total for one counter metric.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.counters[metric.index()]
+    }
+
+    /// Inter-SSMP transmissions of `kind` (including fabric-dropped
+    /// ones, matching `NetStats`' definition).
+    pub fn lan(&self, kind: MsgKind) -> u64 {
+        self.lan[kind.index()]
+    }
+
+    /// Total inter-SSMP transmissions across all kinds.
+    pub fn lan_total(&self) -> u64 {
+        self.lan.iter().sum()
+    }
+
+    /// Merged histogram for one latency class.
+    pub fn hist(&self, class: LatencyClass) -> &HistSummary {
+        &self.hists[class.index()]
+    }
+
+    /// Total MGS lock acquires (local + remote).
+    pub fn lock_acquires(&self) -> u64 {
+        self.get(Metric::LockAcquiresLocal) + self.get(Metric::LockAcquiresRemote)
+    }
+
+    /// Serializes the report as a JSON object (hand-rolled; the build
+    /// environment is offline, so no serde).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"counters\": {");
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            write!(s, "{sep}\n    \"{}\": {}", m.name(), self.get(*m)).unwrap();
+        }
+        s.push_str("\n  },\n  \"lan_messages\": {");
+        let mut first = true;
+        for kind in MsgKind::ALL {
+            if self.lan(kind) == 0 {
+                continue;
+            }
+            let sep = if first { "" } else { "," };
+            first = false;
+            write!(s, "{sep}\n    \"{}\": {}", kind.name(), self.lan(kind)).unwrap();
+        }
+        s.push_str("\n  },\n  \"latency_cycles\": {");
+        for (i, class) in LatencyClass::ALL.iter().enumerate() {
+            let h = self.hist(*class);
+            let sep = if i == 0 { "" } else { "," };
+            write!(
+                s,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \
+                 \"p50_floor\": {}, \"p99_floor\": {}}}",
+                class.name(),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile_floor(0.5),
+                h.quantile_floor(0.99)
+            )
+            .unwrap();
+        }
+        s.push_str("\n  }\n}");
+        s
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for m in Metric::ALL {
+            let v = self.get(m);
+            if v > 0 {
+                writeln!(f, "  {:<24} {v}", m.name())?;
+            }
+        }
+        if self.lan_total() > 0 {
+            writeln!(f, "LAN transmissions by kind:")?;
+            for kind in MsgKind::ALL {
+                let v = self.lan(kind);
+                if v > 0 {
+                    writeln!(f, "  {:<24} {v}", kind.name())?;
+                }
+            }
+        }
+        writeln!(f, "latency histograms (simulated cycles):")?;
+        for class in LatencyClass::ALL {
+            let h = self.hist(class);
+            if h.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<14} n={:<9} mean={:<10.1} p50>={:<8} p99>={}",
+                class.name(),
+                h.count,
+                h.mean(),
+                h.quantile_floor(0.5),
+                h.quantile_floor(0.99)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn shards_merge() {
+        let reg = ObsRegistry::new(3);
+        reg.count(0, Metric::DiffsSent, 2);
+        reg.count(1, Metric::DiffsSent, 3);
+        reg.count(2, Metric::DiffsSent, 5);
+        reg.count(2, Metric::TwinCreates, 1);
+        let r = reg.merge();
+        assert_eq!(r.get(Metric::DiffsSent), 10);
+        assert_eq!(r.get(Metric::TwinCreates), 1);
+        assert_eq!(r.get(Metric::Loads), 0);
+    }
+
+    #[test]
+    fn lan_counts_by_kind() {
+        let reg = ObsRegistry::new(2);
+        reg.count_lan(0, MsgKind::RReq);
+        reg.count_lan(1, MsgKind::RReq);
+        reg.count_lan(1, MsgKind::Diff);
+        let r = reg.merge();
+        assert_eq!(r.lan(MsgKind::RReq), 2);
+        assert_eq!(r.lan(MsgKind::Diff), 1);
+        assert_eq!(r.lan_total(), 3);
+    }
+
+    #[test]
+    fn quantiles_and_means() {
+        let reg = ObsRegistry::new(1);
+        for v in [1u64, 2, 4, 1024] {
+            reg.record_latency(0, LatencyClass::LockWait, Cycles(v));
+        }
+        let r = reg.merge();
+        let h = r.hist(LatencyClass::LockWait);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1031);
+        assert_eq!(h.quantile_floor(0.5), 2);
+        assert_eq!(h.quantile_floor(1.0), 1024);
+    }
+
+    #[test]
+    fn json_is_emitted() {
+        let reg = ObsRegistry::new(1);
+        reg.count(0, Metric::Loads, 7);
+        let json = reg.merge().to_json();
+        assert!(json.contains("\"loads\": 7"));
+        assert!(json.contains("\"latency_cycles\""));
+    }
+
+    #[test]
+    fn metric_indices_are_dense_and_unique() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        for (i, c) in LatencyClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -17,7 +17,8 @@ use crate::transport::{ProtocolError, SendOutcome, SeqFilter, Transaction};
 use crate::{Duq, ProtoConfig, ProtoStats, ProtoTiming, SpanDiff};
 use mgs_cache::SsmpCacheSystem;
 use mgs_net::MsgKind;
-use mgs_vm::{FrameAllocator, PageBuf, PoolStats, Tlb, TlbEntry, TwinPool};
+use mgs_obs::{ObsEvent, XactKind, XactOutcome};
+use mgs_vm::{FrameAllocator, PageBuf, PageGeometry, PoolStats, Tlb, TlbEntry, TwinPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -412,6 +413,41 @@ impl MgsProtocol {
         want_write: bool,
         t: &mut dyn ProtoTiming,
     ) -> Result<TlbEntry, ProtocolError> {
+        let xact = if want_write {
+            XactKind::WriteFault
+        } else {
+            XactKind::ReadFault
+        };
+        t.observe(ObsEvent::XactBegin { xact, page });
+        match self.fault_inner(proc, page, want_write, t) {
+            Ok((e, outcome)) => {
+                t.observe(ObsEvent::XactEnd {
+                    xact,
+                    page,
+                    outcome,
+                });
+                Ok(e)
+            }
+            Err(err) => {
+                t.observe(ObsEvent::XactEnd {
+                    xact,
+                    page,
+                    outcome: XactOutcome::Aborted,
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// The body of [`try_fault`](MgsProtocol::try_fault), additionally
+    /// classifying how the fault resolved (for the observability span).
+    fn fault_inner(
+        &self,
+        proc: usize,
+        page: u64,
+        want_write: bool,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(TlbEntry, XactOutcome), ProtocolError> {
         let ssmp = self.cfg.ssmp_of(proc);
         let entry = self.page_entry(page);
         t.local(self.cfg.cost.fault_entry);
@@ -441,13 +477,14 @@ impl MgsProtocol {
                 // Arc 1 (read) / arcs 3,4 (write on WRITE page): a local
                 // mapping exists; fill the TLB.
                 (ClientState::Write, _) | (ClientState::Read, false) => {
-                    return Ok(self.map_local(proc, page, want_write, &mut client, t));
+                    let e = self.map_local(proc, page, want_write, &mut client, t);
+                    return Ok((e, XactOutcome::TlbFill));
                 }
                 // Arc 2: write fault on a READ page — upgrade.
                 (ClientState::Read, true) => {
                     drop(client);
-                    if let Some(e) = self.upgrade(&entry, proc, page, t)? {
-                        return Ok(e);
+                    if let Some(resolved) = self.upgrade(&entry, proc, page, t)? {
+                        return Ok(resolved);
                     }
                     // Raced with an invalidation; retry from the top.
                     continue;
@@ -458,7 +495,13 @@ impl MgsProtocol {
                     drop(client);
                     t.local(self.cfg.cost.lc_miss_setup);
                     let mut server = entry.server.lock();
-                    return self.fill(&entry, &mut server, proc, page, want_write, t);
+                    let e = self.fill(&entry, &mut server, proc, page, want_write, t)?;
+                    let outcome = if want_write {
+                        XactOutcome::WriteMiss
+                    } else {
+                        XactOutcome::ReadMiss
+                    };
+                    return Ok((e, outcome));
                 }
             }
         }
@@ -505,7 +548,7 @@ impl MgsProtocol {
         proc: usize,
         page: u64,
         t: &mut dyn ProtoTiming,
-    ) -> Result<Option<TlbEntry>, ProtocolError> {
+    ) -> Result<Option<(TlbEntry, XactOutcome)>, ProtocolError> {
         let ssmp = self.cfg.ssmp_of(proc);
         let lidx = self.cfg.local_index(proc);
         let home_node = self.home_node(page);
@@ -539,6 +582,11 @@ impl MgsProtocol {
             // still-tracked copy).
             server.dirs.read_dir &= !(1 << ssmp);
             self.stats.invalidations.incr();
+            t.observe(ObsEvent::Invalidate {
+                page,
+                ssmp,
+                writer: false,
+            });
         }
         match client.state {
             ClientState::Read => {
@@ -560,6 +608,7 @@ impl MgsProtocol {
                     let mut twin = self.twin_pools[ssmp].acquire();
                     frame.with_quiesced(|words| twin.copy_from_slice(words));
                     client.twin = Some(twin);
+                    t.observe(ObsEvent::TwinCreate { page, ssmp });
                 }
                 client.state = ClientState::Write;
                 // Arc 13: UP_ACK ⇒ src, WNOTIFY ⇒ g_home.
@@ -575,6 +624,15 @@ impl MgsProtocol {
                 // Arc 18 (server): read_dir −= {src}, write_dir ∪= {src}.
                 t.node_work(home_node, cost.server_wnotify);
                 server.dirs.read_dir &= !(1 << ssmp);
+                if self.cfg.single_writer_opt
+                    && server.dirs.writers() == 1
+                    && server.dirs.write_dir & (1 << ssmp) == 0
+                {
+                    // A second SSMP just gained write privilege: the
+                    // page leaves single-writer mode and the next
+                    // release must take the multi-writer diff path.
+                    t.observe(ObsEvent::SingleWriterBreak { page, ssmp });
+                }
                 server.dirs.write_dir |= 1 << ssmp;
                 // UP_ACK handling at the client: DUQ ∪ {addr} (arc 7 row
                 // UP_ACK), then fill the TLB.
@@ -590,10 +648,13 @@ impl MgsProtocol {
                 };
                 self.tlbs[proc].insert(page, e.clone());
                 self.stats.upgrades.incr();
-                Ok(Some(e))
+                Ok(Some((e, XactOutcome::Upgrade)))
             }
             // Another local processor upgraded first: just map.
-            ClientState::Write => Ok(Some(self.map_local(proc, page, true, &mut client, t))),
+            ClientState::Write => Ok(Some((
+                self.map_local(proc, page, true, &mut client, t),
+                XactOutcome::TlbFill,
+            ))),
             // Invalidated in the window: fall through to a fill under
             // the already-held server lock.
             ClientState::Inv => {
@@ -605,7 +666,8 @@ impl MgsProtocol {
                 client.pending = true;
                 drop(client);
                 t.local(cost.lc_miss_setup);
-                Ok(Some(self.fill(entry, &mut server, proc, page, true, t)?))
+                let e = self.fill(entry, &mut server, proc, page, true, t)?;
+                Ok(Some((e, XactOutcome::WriteMiss)))
             }
         }
     }
@@ -696,6 +758,10 @@ impl MgsProtocol {
             "filling SSMP must not already hold a copy"
         );
         if want_write {
+            if self.cfg.single_writer_opt && server.dirs.writers() == 1 {
+                // A second SSMP just gained write privilege.
+                t.observe(ObsEvent::SingleWriterBreak { page, ssmp });
+            }
             server.dirs.write_dir |= 1 << ssmp;
         } else {
             server.dirs.read_dir |= 1 << ssmp;
@@ -715,6 +781,7 @@ impl MgsProtocol {
             // just arrived is exactly the twin.
             t.local(cost.twin_cost(words));
             client.twin = arrived;
+            t.observe(ObsEvent::TwinCreate { page, ssmp });
         }
         client.tlb_dir |= 1 << lidx;
         if want_write && self.duqs[proc].push(page) {
@@ -777,6 +844,10 @@ impl MgsProtocol {
             return Ok(());
         }
         self.stats.releases.incr();
+        t.observe(ObsEvent::DuqFlush {
+            proc,
+            pages: pages.len() as u64,
+        });
         for page in pages {
             self.try_release_page(proc, page, t)?;
         }
@@ -800,6 +871,30 @@ impl MgsProtocol {
     /// [`try_release_all`](MgsProtocol::try_release_all) for the
     /// recovery contract).
     pub fn try_release_page(
+        &self,
+        proc: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        t.observe(ObsEvent::XactBegin {
+            xact: XactKind::Release,
+            page,
+        });
+        let res = self.release_page_inner(proc, page, t);
+        t.observe(ObsEvent::XactEnd {
+            xact: XactKind::Release,
+            page,
+            outcome: if res.is_ok() {
+                XactOutcome::Released
+            } else {
+                XactOutcome::Aborted
+            },
+        });
+        res
+    }
+
+    /// The body of [`try_release_page`](MgsProtocol::try_release_page).
+    fn release_page_inner(
         &self,
         proc: usize,
         page: u64,
@@ -890,6 +985,11 @@ impl MgsProtocol {
         }
         let frame = client.frame.clone().expect("copy present");
         self.stats.invalidations.incr();
+        t.observe(ObsEvent::Invalidate {
+            page,
+            ssmp,
+            writer: is_writer,
+        });
 
         self.reliable(t, home_ssmp, ssmp, MsgKind::Inv, 0, page)?;
         let rc_node = frame.home_node();
@@ -948,6 +1048,24 @@ impl MgsProtocol {
             t.node_work(home_node, cost.diff_transfer_apply_cost(changed));
             diff.apply_to_frame(&server.home_frame);
             self.mark_home_merge(server, &diff, home_node, home_ssmp);
+            t.observe(ObsEvent::Diff {
+                page,
+                ssmp,
+                words: changed,
+                spans: diff.span_count() as u64,
+            });
+            if t.observing() {
+                // Per-line attribution for the sharing profiler. The
+                // second `touched_lines` walk only happens when someone
+                // is listening.
+                let base_line = server.home_frame.base() / PageGeometry::LINE_BYTES;
+                for line in diff.touched_lines(&server.home_frame) {
+                    t.observe(ObsEvent::DiffLine {
+                        page,
+                        line: line - base_line,
+                    });
+                }
+            }
             self.release_diff_scratch(ssmp, diff);
             self.stats.diffs.incr();
             self.stats.diff_words.add(changed);
@@ -985,6 +1103,7 @@ impl MgsProtocol {
         debug_assert_eq!(client.state, ClientState::Write, "writer holds WRITE");
         let frame = client.frame.clone().expect("writer has a frame");
         self.stats.single_writer_flushes.incr();
+        t.observe(ObsEvent::SingleWriterFlush { page, ssmp });
 
         self.reliable(t, home_ssmp, ssmp, MsgKind::OneWInv, 0, page)?;
         let rc_node = frame.home_node();
@@ -1070,6 +1189,7 @@ impl MgsProtocol {
         self.reliable(t, home_ssmp, ssmp, MsgKind::Inv, 0, page)?;
         self.notices[ssmp].state.lock().queue.push(page);
         self.stats.lazy_notices.incr();
+        t.observe(ObsEvent::LazyNotice { page, ssmp });
         Ok(())
     }
 
@@ -1127,6 +1247,11 @@ impl MgsProtocol {
             client.twin = None;
             server.dirs.read_dir &= !(1 << ssmp);
             self.stats.invalidations.incr();
+            t.observe(ObsEvent::Invalidate {
+                page,
+                ssmp,
+                writer: false,
+            });
         }
         let mut st = self.notices[ssmp].state.lock();
         st.drains_in_flight -= 1;
@@ -1153,6 +1278,7 @@ impl MgsProtocol {
             t.node_work(gproc, cost.pinv);
             t.node_work(rc_node, cost.pinv_ack);
             self.stats.pinvs.incr();
+            t.observe(ObsEvent::Pinv { page, proc: gproc });
         }
         client.tlb_dir = 0;
     }

@@ -2,6 +2,7 @@
 
 use crate::transport::SendOutcome;
 use mgs_net::{Fate, FaultPlan, MsgKind};
+use mgs_obs::ObsEvent;
 use mgs_sim::{CostModel, Cycles};
 use std::collections::HashMap;
 
@@ -66,6 +67,22 @@ pub trait ProtoTiming {
 
     /// The calling thread resumed after a real block.
     fn block_end(&mut self) {}
+
+    /// A structured observability event. Purely a host-side side
+    /// channel: implementations must never advance any simulated clock
+    /// here (the zero-perturbation invariant of `mgs-obs` depends on
+    /// it). The default discards the event.
+    fn observe(&mut self, event: ObsEvent) {
+        let _ = event;
+    }
+
+    /// `true` when [`observe`](ProtoTiming::observe) has a consumer.
+    /// Lets the protocol skip building events that require extra work
+    /// (e.g. walking a diff's touched lines a second time) when nobody
+    /// is listening. The default is `false`.
+    fn observing(&self) -> bool {
+        false
+    }
 }
 
 /// One recorded timing event (see [`RecordingTiming`]).

@@ -1,83 +1,88 @@
-//! Driving the MGS protocol engines directly: trace the messages and
-//! handler work of a fault and a release, exactly as Table 1 / Figure 5
-//! of the paper describe them.
+//! Tracing MGS protocol transactions on a running machine: the
+//! structured event stream records every transaction span (fault begin
+//! → TLB installed, release begin → RACK), protocol message, handler
+//! occupancy and fabric fault, exactly as Table 1 / Figure 5 of the
+//! paper describe them.
 //!
 //! ```text
 //! cargo run --release --example protocol_trace
+//! cargo run --release --example protocol_trace -- --perfetto trace.json
 //! ```
+//!
+//! With `--perfetto <path>`, the same stream is exported as
+//! Chrome/Perfetto `trace_event` JSON — open the file in
+//! `ui.perfetto.dev` to see one track per simulated processor (its
+//! transaction spans) and one per protocol engine (its occupancy).
 
-use mgs_repro::net::FaultPlan;
-use mgs_repro::proto::{MgsProtocol, ProtoConfig, RecordingTiming, TimingEvent};
-use mgs_repro::sim::Cycles;
-
-fn print_trace(title: &str, t: &RecordingTiming) {
-    println!("\n== {title} (total {} cycles) ==", t.elapsed().raw());
-    for ev in t.events() {
-        match ev {
-            TimingEvent::Local(c) => println!("   local client work        {:>6}", c.raw()),
-            TimingEvent::Message {
-                from,
-                to,
-                kind,
-                bytes,
-            } => {
-                if from == to {
-                    println!("   {kind:<12} (intra-SSMP {from})");
-                } else {
-                    println!("   {kind:<12} SSMP {from} -> SSMP {to} ({bytes} B)");
-                }
-            }
-            TimingEvent::NodeWork { node, cycles } => {
-                println!("   handler at node {node:<2}       {:>6}", cycles.raw())
-            }
-            TimingEvent::WaitUntil(c) => println!("   wait until t = {}", c.raw()),
-            TimingEvent::Dropped { from, to, kind } => {
-                println!("   {kind:<12} SSMP {from} -> SSMP {to} DROPPED")
-            }
-            TimingEvent::Retry { attempt, wait } => {
-                println!("   retry #{attempt} after {:>6}-cycle timeout", wait.raw())
-            }
-        }
-    }
-}
+use mgs_repro::core::{export_perfetto, AccessKind, DssmpConfig, Machine, TraceEvent, TraceKind};
 
 fn main() {
-    // Two SSMPs of two processors; page 0 is homed at node 0 (SSMP 0).
-    let cfg = ProtoConfig::new(2, 2);
-    let cost = cfg.cost.clone();
-    let proto = MgsProtocol::new(cfg);
+    let perfetto_path = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        args.iter().position(|a| a == "--perfetto").map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .expect("--perfetto needs a file path")
+        })
+    };
 
-    // Processor 2 (SSMP 1) write-faults: WTLBFault -> WREQ -> WDAT
-    // (arcs 5, 18, 7 of Table 1).
-    let mut t = RecordingTiming::new(cost.clone(), Cycles::ZERO);
-    let entry = proto.fault(2, 0, true, &mut t);
-    print_trace("inter-SSMP write miss", &t);
+    // Two SSMPs of two processors, with the structured trace and the
+    // observability sink attached.
+    let mut cfg = DssmpConfig::new(4, 2).with_observability();
+    cfg.trace = true;
+    let machine = Machine::new(cfg);
 
-    // The application writes through the mapping...
-    entry.frame.store(3, 42);
+    // One page's worth of data, homed at processor 0 (SSMP 0).
+    let data = machine.alloc_array_homed::<u64>(128, AccessKind::DistArray, |_| 0);
 
-    // ...and releases: REL -> 1WINV -> 1WDATA -> RACK (the
-    // single-writer optimization, arcs 8, 20, 14, 16, 23, 9).
-    let mut t = RecordingTiming::new(cost.clone(), Cycles::ZERO);
-    proto.release_all(2, &mut t);
-    print_trace("release (single-writer optimization)", &t);
+    let report = machine.run(|env| {
+        env.start_measurement();
+        if env.pid() == 2 {
+            // Processor 2 (SSMP 1) write-faults on the remote page:
+            // WTLBFault -> WREQ -> WDAT (arcs 5, 18, 7 of Table 1).
+            data.write(env, 3, 42);
+        }
+        // The barrier is a release point: REL -> 1WINV -> 1WDATA ->
+        // RACK (the single-writer optimization, arcs 8, 20, 14, 16,
+        // 23, 9).
+        env.barrier();
+        // Everyone reads the released value back.
+        assert_eq!(data.read(env, 3), 42);
+        env.barrier();
+    });
 
-    assert_eq!(proto.home_frame(0).load(3), 42);
-    println!("\nThe home copy now holds the released value (42).");
+    let events = machine.take_trace();
 
-    // The same read miss on an unreliable fabric: a seeded 40%-loss
-    // plan drops transmissions, the retry layer times out, backs off
-    // and retransmits until the transaction completes.
-    let lossy = MgsProtocol::new(ProtoConfig::new(2, 2));
-    let mut t = RecordingTiming::new(cost, Cycles::ZERO).with_faults(FaultPlan::uniform(
-        9,
-        0.4,
-        0.0,
-        Cycles::ZERO,
-    ));
-    lossy.fault(2, 0, false, &mut t);
-    print_trace("inter-SSMP read miss, 40% message loss", &t);
+    // Per-processor timelines (each processor's clock is monotonic;
+    // different processors' clocks are only loosely ordered).
+    for proc in 0..4 {
+        let mine: Vec<&TraceEvent> = events.iter().filter(|e| e.proc == proc).collect();
+        if mine.is_empty() {
+            continue;
+        }
+        println!("\n== processor {proc} ({} events) ==", mine.len());
+        for e in &mine {
+            println!("{e}");
+        }
+    }
 
-    println!("\nProtocol statistics:\n{}", proto.stats());
-    println!("\nLossy-run statistics:\n{}", lossy.stats());
+    let spans = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::XactBegin { .. }))
+        .count();
+    println!("\n{spans} protocol transactions traced");
+    println!("\nRun report:\n{report}");
+    if let Some(metrics) = &report.metrics {
+        println!("\nMetrics:\n{metrics}");
+    }
+    if let Some(obs) = machine.obs() {
+        println!("\nSharing profile:\n{}", obs.profiler.report(5));
+    }
+
+    if let Some(path) = perfetto_path {
+        let cfg = machine.config();
+        let json = export_perfetto(&events, cfg.n_procs, cfg.cluster_size);
+        std::fs::write(&path, json).expect("write perfetto trace");
+        println!("\nPerfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
 }

@@ -9,6 +9,7 @@ pub use mgs_apps as apps;
 pub use mgs_cache as cache;
 pub use mgs_core as core;
 pub use mgs_net as net;
+pub use mgs_obs as obs;
 pub use mgs_proto as proto;
 pub use mgs_sim as sim;
 pub use mgs_sync as sync;

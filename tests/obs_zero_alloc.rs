@@ -1,0 +1,92 @@
+//! Counting-allocator proof that the observability fast path adds no
+//! heap allocation to the per-access hot path.
+//!
+//! A wrapping global allocator counts every `alloc`/`realloc` in this
+//! test binary. A single-processor machine runs with the `mgs-obs` sink
+//! attached; after a warm-up pass (TLB fills, cache-directory growth,
+//! translation-cache population), a steady-state loop of loads and
+//! stores — each of which bumps typed counters in the registry — must
+//! perform **zero** heap allocations.
+//!
+//! Kept to a single `#[test]` so no concurrent test case can allocate
+//! while the measured window is open.
+
+use mgs_repro::core::{AccessKind, DssmpConfig, Machine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations observed inside the measured window (written by the
+/// simulated processor's thread, read after the run joins).
+static MEASURED: AtomicU64 = AtomicU64::new(u64::MAX);
+
+#[test]
+fn per_access_metrics_path_allocates_nothing() {
+    const WORDS: u64 = 1024; // 8 KiB: several pages, well within the
+                             // 64-slot translation cache
+
+    let mut cfg = DssmpConfig::new(1, 1).with_observability();
+    cfg.governor_window = None;
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array::<u64>(WORDS, AccessKind::DistArray);
+    machine.run(|env| {
+        // Warm-up: fault every page in, populate the translation cache
+        // and the hardware cache's directory state.
+        for i in 0..WORDS {
+            arr.write(env, i, i);
+        }
+        let mut acc = 0u64;
+        for i in 0..WORDS {
+            acc = acc.wrapping_add(arr.read(env, i));
+        }
+        std::hint::black_box(acc);
+
+        // Steady state: every access still counts loads/stores and a
+        // hardware miss class into the registry shard.
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for round in 0..50u64 {
+            for i in 0..WORDS {
+                arr.write(env, i, round + i);
+            }
+            let mut acc = 0u64;
+            for i in 0..WORDS {
+                acc = acc.wrapping_add(arr.read(env, i));
+            }
+            std::hint::black_box(acc);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        MEASURED.store(after - before, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        MEASURED.load(Ordering::Relaxed),
+        0,
+        "instrumented steady-state accesses must not touch the heap"
+    );
+
+    // The counting really happened.
+    let metrics = machine.obs().expect("observability on").registry.merge();
+    assert!(metrics.get(mgs_repro::obs::Metric::Stores) >= 51 * WORDS);
+}

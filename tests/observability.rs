@@ -1,0 +1,273 @@
+//! Observability invariants (`mgs-obs` threaded through the machine):
+//!
+//! * **Zero perturbation** — attaching the observability sink must not
+//!   move a single simulated cycle. Two programs inside the simulator's
+//!   deterministic envelope (see `tests/determinism.rs`) run with and
+//!   without `DssmpConfig::observe` at C = 4 and C = 32 and must be
+//!   bit-identical in duration, per-processor accounting and LAN
+//!   traffic.
+//! * **Reconciliation** — the `mgs-obs` registry counts events at
+//!   different layers than the `RunReport` totals (per-proc shards vs.
+//!   `NetStats` / lock stats / protocol stats); on the same run they
+//!   must agree exactly.
+//! * **Perfetto export** — the exported `trace_event` JSON parses, and
+//!   on every track the begin/end spans nest: depth never goes
+//!   negative, every span closes, and timestamps are monotonic.
+
+use mgs_repro::core::{
+    export_perfetto, AccessKind, CostCategory, DssmpConfig, FaultPlan, Machine, Metric, RunReport,
+};
+use mgs_repro::sim::Cycles;
+
+const PROCS: usize = 32;
+/// Words per processor block (two 1 KB pages each).
+const WORDS: u64 = 256;
+const PHASES: u64 = 2;
+
+/// Deterministic pattern 1: every processor writes and re-reads only
+/// its own self-homed block, with barriers between phases.
+fn run_disjoint(cluster: usize, observe: bool) -> RunReport {
+    let mut cfg = DssmpConfig::new(PROCS, cluster);
+    cfg.governor_window = None;
+    cfg.observe = observe;
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_blocked::<u64>(WORDS * PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid() as u64;
+        let base = pid * WORDS;
+        env.start_measurement();
+        for phase in 0..PHASES {
+            for i in 0..WORDS {
+                arr.write(env, base + i, pid * 1_000_000 + phase * 1_000 + i);
+            }
+            env.barrier();
+            let mut acc = 0u64;
+            for i in 0..WORDS {
+                acc = acc.wrapping_add(arr.read(env, base + i));
+            }
+            std::hint::black_box(acc);
+            env.barrier();
+        }
+    })
+}
+
+/// Deterministic pattern 2: a token ring — in phase `k` only processor
+/// `k` touches shared state (it writes its successor's self-homed block
+/// under a lock), so every cross-SSMP transaction is serialized and no
+/// occupancy resource is ever contended.
+fn run_ring(procs: usize, cluster: usize, observe: bool, plan: FaultPlan) -> RunReport {
+    let mut cfg = DssmpConfig::new(procs, cluster).with_faults(plan);
+    cfg.governor_window = None;
+    cfg.observe = observe;
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_blocked::<u64>(WORDS * procs as u64, AccessKind::DistArray);
+    let lock = machine.new_lock();
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..procs {
+            if pid == phase {
+                env.acquire(&lock);
+                let base = ((pid + 1) % procs) as u64 * WORDS;
+                for i in 0..WORDS {
+                    arr.write(env, base + i, ((phase as u64) << 32) | i);
+                }
+                env.release(&lock);
+            }
+            env.barrier();
+        }
+    })
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.duration.raw(), b.duration.raw(), "{what}: duration");
+    for cat in CostCategory::ALL {
+        assert_eq!(
+            a.breakdown.get(cat).raw(),
+            b.breakdown.get(cat).raw(),
+            "{what}: breakdown {}",
+            cat.label()
+        );
+    }
+    for (p, (x, y)) in a.per_proc.iter().zip(&b.per_proc).enumerate() {
+        for cat in CostCategory::ALL {
+            assert_eq!(
+                x.get(cat).raw(),
+                y.get(cat).raw(),
+                "{what}: proc {p} {}",
+                cat.label()
+            );
+        }
+    }
+    assert_eq!(a.lan_messages, b.lan_messages, "{what}: LAN messages");
+    assert_eq!(a.lan_bytes, b.lan_bytes, "{what}: LAN bytes");
+}
+
+#[test]
+fn observability_is_zero_perturbation() {
+    for cluster in [4, PROCS] {
+        let off = run_disjoint(cluster, false);
+        let on = run_disjoint(cluster, true);
+        assert!(off.metrics.is_none() && on.metrics.is_some());
+        assert_identical(&off, &on, &format!("disjoint C={cluster}"));
+
+        let off = run_ring(PROCS, cluster, false, FaultPlan::none());
+        let on = run_ring(PROCS, cluster, true, FaultPlan::none());
+        assert_identical(&off, &on, &format!("ring C={cluster}"));
+    }
+}
+
+#[test]
+fn metric_totals_reconcile_with_run_report() {
+    // Perfect fabric: LAN and lock counters.
+    let r = run_ring(PROCS, 4, true, FaultPlan::none());
+    let m = r.metrics.as_ref().expect("observability on");
+    assert!(r.lan_messages > 0, "ring must cross SSMPs");
+    assert_eq!(m.lan_total(), r.lan_messages, "LAN transmissions");
+    assert_eq!(m.lock_acquires(), r.lock_acquires, "lock acquires");
+    assert_eq!(m.get(Metric::Retries), 0);
+    assert_eq!(
+        m.get(Metric::BarrierArrivals),
+        (PROCS * PROCS) as u64,
+        "one arrival per processor per phase"
+    );
+    assert_eq!(
+        m.get(Metric::LockAcquiresLocal) + m.get(Metric::LockAcquiresRemote),
+        PROCS as u64,
+        "the token is taken once per phase"
+    );
+
+    // Lossy fabric (smaller ring: retries make runs long): the registry
+    // sees exactly the transmissions, drops, duplicates and retries the
+    // fabric and protocol report.
+    let r = run_ring(
+        8,
+        2,
+        true,
+        FaultPlan::uniform(0xB0B, 0.25, 0.05, Cycles(200)),
+    );
+    let m = r.metrics.as_ref().expect("observability on");
+    assert!(r.lan_drops > 0, "the plan must actually drop something");
+    assert_eq!(m.lan_total(), r.lan_messages, "lossy LAN transmissions");
+    assert_eq!(m.get(Metric::LanDrops), r.lan_drops, "drops");
+    assert_eq!(m.get(Metric::LanDuplicates), r.lan_duplicates, "duplicates");
+    assert_eq!(m.get(Metric::Retries), r.retries, "retries");
+}
+
+/// One parsed `trace_event` line of the exported JSON.
+struct Ev {
+    ph: char,
+    pid: u64,
+    tid: u64,
+    ts: u64,
+}
+
+/// Extracts `"key":<integer>` from a single-event JSON line.
+fn field(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len();
+    line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("integer {key} in {line}"))
+}
+
+/// Minimal parser for the exporter's one-event-per-line layout.
+fn parse_events(json: &str) -> Vec<Ev> {
+    assert!(json.starts_with("{\"traceEvents\":["), "document shape");
+    assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"), "trailer");
+    let mut events = Vec::new();
+    for line in json.lines().skip(1) {
+        let line = line.trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue; // the closing `],"displayTimeUnit":...` line
+        }
+        assert!(line.ends_with('}'), "event line must close: {line}");
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "balanced braces: {line}"
+        );
+        let ph = field_str(line, "ph");
+        events.push(Ev {
+            ph: ph.chars().next().expect("nonempty ph"),
+            pid: field(line, "pid"),
+            tid: field(line, "tid"),
+            ts: if ph == "M" { 0 } else { field(line, "ts") },
+        });
+    }
+    events
+}
+
+/// Extracts `"key":"<string>"` from a single-event JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len();
+    let end = line[start..].find('"').expect("closing quote") + start;
+    &line[start..end]
+}
+
+#[test]
+fn perfetto_export_parses_and_spans_nest() {
+    let mut cfg = DssmpConfig::new(8, 4);
+    cfg.governor_window = None;
+    cfg.trace = true;
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_blocked::<u64>(WORDS * 8, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..8usize {
+            if pid == phase {
+                let base = ((pid + 1) % 8) as u64 * WORDS;
+                for i in 0..WORDS {
+                    arr.write(env, base + i, i);
+                }
+            }
+            env.barrier();
+        }
+    });
+    let events = machine.take_trace();
+    assert!(!events.is_empty(), "trace must record something");
+    let json = export_perfetto(&events, 8, 4);
+
+    let parsed = parse_events(&json);
+    assert!(parsed.iter().any(|e| e.ph == 'B'), "has span begins");
+    assert!(parsed.iter().any(|e| e.ph == 'X'), "has engine slices");
+    assert!(parsed.iter().any(|e| e.ph == 'M'), "has track metadata");
+
+    // Per-track nesting: walk each (pid, tid) stream in document order.
+    let mut tracks: std::collections::BTreeMap<(u64, u64), (i64, u64)> =
+        std::collections::BTreeMap::new();
+    for e in &parsed {
+        if e.ph == 'M' {
+            continue;
+        }
+        let (depth, last_ts) = tracks.entry((e.pid, e.tid)).or_insert((0, 0));
+        match e.ph {
+            'B' | 'E' => {
+                assert!(
+                    e.ts >= *last_ts,
+                    "track ({}, {}): timestamps must be monotonic",
+                    e.pid,
+                    e.tid
+                );
+                *last_ts = e.ts;
+                *depth += if e.ph == 'B' { 1 } else { -1 };
+                assert!(
+                    *depth >= 0,
+                    "track ({}, {}): end without a begin",
+                    e.pid,
+                    e.tid
+                );
+            }
+            'X' | 'i' => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for ((pid, tid), (depth, _)) in tracks {
+        assert_eq!(depth, 0, "track ({pid}, {tid}): every span must close");
+    }
+}
