@@ -38,7 +38,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 pub struct TimeGovernor {
     state: Mutex<GovState>,
-    cond: Condvar,
+    /// One condvar per thread, so a window advance wakes only the
+    /// threads whose gate the new window actually covers. A single
+    /// shared condvar with `notify_all` would wake every gated thread
+    /// on every advance — a thundering herd in which most wakers
+    /// re-acquire the state mutex just to discover they must sleep
+    /// again.
+    conds: Vec<Condvar>,
     window: u64,
     /// Mirror of `state.window_end` for the lock-free fast path.
     window_end: AtomicU64,
@@ -78,7 +84,7 @@ impl TimeGovernor {
                 window_end: window.raw(),
                 status: vec![ThreadStatus::Running; n],
             }),
-            cond: Condvar::new(),
+            conds: (0..n).map(|_| Condvar::new()).collect(),
             window: window.raw(),
             window_end: AtomicU64::new(window.raw()),
         }
@@ -108,7 +114,7 @@ impl TimeGovernor {
         st.status[id] = ThreadStatus::AtGate(t);
         self.try_advance(&mut st);
         while t >= st.window_end {
-            self.cond.wait(&mut st);
+            self.conds[id].wait(&mut st);
         }
         st.status[id] = ThreadStatus::Running;
     }
@@ -159,7 +165,15 @@ impl TimeGovernor {
         }
         st.window_end += steps * self.window;
         self.window_end.store(st.window_end, Ordering::Release);
-        self.cond.notify_all();
+        // Targeted wake-ups: only threads whose gate now falls inside
+        // the advanced window can make progress, so wake exactly those.
+        for (id, s) in st.status.iter().enumerate() {
+            if let ThreadStatus::AtGate(t) = *s {
+                if t < st.window_end {
+                    self.conds[id].notify_one();
+                }
+            }
+        }
     }
 }
 
