@@ -1,0 +1,183 @@
+//! `govscale` — host-scalability benchmark of the time governor.
+//!
+//! The governor bounds simulated-clock skew, so it sits on every
+//! processor thread's hot path; its host cost directly scales (or
+//! caps) how many simulated cycles per host second the simulator
+//! delivers. This benchmark sweeps the three governor engines over
+//! applications and cluster sizes and reports **simulated Mcycles per
+//! host second** (run-report duration divided by wall-clock time):
+//!
+//! * `herd`  — the original mutex governor with `notify_all` wake-ups
+//!   (every window advance wakes every gated thread; the pre-fix
+//!   baseline);
+//! * `mutex` — the mutex governor with targeted per-thread wake-ups;
+//! * `epoch` — the sharded epoch gate: per-thread padded atomic slots,
+//!   lock-free ticks, elected-closer window advance, spin-then-park
+//!   waits.
+//!
+//! Simulated results are engine-invariant (`tests/governor_equivalence.rs`);
+//! only wall-clock time may differ, so the per-run simulated duration
+//! is also printed as a sanity column. Writes `BENCH_scaling.json`.
+//!
+//! Flags beyond the usual `--p`/`--scale`/`--reps`: `--c <C>` pins one
+//! cluster size (default sweeps `{1, 4, P}`); positional application
+//! names (default `water barnes-hut`); `--smoke` is the CI configuration
+//! (`--p 8 --scale 8`, Jacobi only, one cluster size).
+//!
+//! ```text
+//! cargo run --release -p mgs-bench --bin govscale -- --p 32 --scale 8
+//! ```
+
+use mgs_bench::cli::Options;
+use mgs_bench::json::JsonObject;
+use mgs_bench::suite::by_name;
+use mgs_core::{DssmpConfig, GovernorImpl, Machine};
+use std::time::Instant;
+
+/// The engines, slowest-first so the `speedup vs herd` column reads
+/// naturally. `herd` is the pre-optimization baseline.
+const ENGINES: &[(&str, GovernorImpl)] = &[
+    ("herd", GovernorImpl::MutexHerd),
+    ("mutex", GovernorImpl::Mutex),
+    ("epoch", GovernorImpl::Epoch),
+];
+
+struct Point {
+    app: String,
+    c: usize,
+    engine: &'static str,
+    duration_mcycles: f64,
+    wall_ms: f64,
+    mcycles_per_sec: f64,
+}
+
+fn main() {
+    let mut opts = Options::parse();
+    let mut cluster: Option<usize> = None;
+    let mut smoke = false;
+    let mut apps: Vec<String> = Vec::new();
+    let mut it = std::mem::take(&mut opts.args).into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--c" => {
+                cluster = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--c needs an integer"),
+                );
+            }
+            "--smoke" => {
+                smoke = true;
+                opts.p = 8;
+                opts.scale = opts.scale.max(8);
+            }
+            name => apps.push(name.to_string()),
+        }
+    }
+    if apps.is_empty() {
+        apps = if smoke {
+            vec!["jacobi".into()]
+        } else {
+            vec!["water".into(), "barnes-hut".into()]
+        };
+    }
+    let clusters: Vec<usize> = match cluster {
+        Some(c) => vec![c],
+        None if smoke => vec![opts.p],
+        None => [1usize, 4, opts.p]
+            .into_iter()
+            .filter(|&c| c <= opts.p)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect(),
+    };
+    for &c in &clusters {
+        assert!(
+            opts.p.is_multiple_of(c),
+            "cluster size {c} must divide the processor count {}",
+            opts.p
+        );
+    }
+
+    eprintln!(
+        "governor scalability: P = {}, scale 1/{}, reps {}, C in {clusters:?}, apps {apps:?}",
+        opts.p, opts.scale, opts.reps
+    );
+    println!(
+        "{:<14} {:>4} {:>7} {:>12} {:>10} {:>14} {:>10}",
+        "app", "C", "engine", "sim Mcycles", "wall ms", "Mcycles/sec", "vs herd"
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    for name in &apps {
+        let app = by_name(&opts, name).unwrap_or_else(|| panic!("unknown app: {name}"));
+        for &c in &clusters {
+            let mut herd_rate = None;
+            for &(engine, impl_) in ENGINES {
+                // Best-of-reps: the governor's cost is a floor, so the
+                // fastest rep is the cleanest measurement of it.
+                let mut best: Option<Point> = None;
+                for _ in 0..opts.reps {
+                    let mut cfg = DssmpConfig::new(opts.p, c);
+                    cfg.governor_impl = impl_;
+                    let machine = Machine::new(cfg);
+                    let start = Instant::now();
+                    let report = app.execute(&machine);
+                    let wall = start.elapsed();
+                    let mcycles = report.duration.raw() as f64 / 1e6;
+                    let rate = mcycles / wall.as_secs_f64();
+                    if best.as_ref().is_none_or(|b| rate > b.mcycles_per_sec) {
+                        best = Some(Point {
+                            app: name.clone(),
+                            c,
+                            engine,
+                            duration_mcycles: mcycles,
+                            wall_ms: wall.as_secs_f64() * 1e3,
+                            mcycles_per_sec: rate,
+                        });
+                    }
+                }
+                let p = best.expect("--reps >= 1");
+                let herd = *herd_rate.get_or_insert(p.mcycles_per_sec);
+                println!(
+                    "{:<14} {:>4} {:>7} {:>12.2} {:>10.1} {:>14.1} {:>9.2}x",
+                    p.app,
+                    p.c,
+                    p.engine,
+                    p.duration_mcycles,
+                    p.wall_ms,
+                    p.mcycles_per_sec,
+                    p.mcycles_per_sec / herd,
+                );
+                points.push(p);
+            }
+        }
+    }
+
+    let mut root = JsonObject::new();
+    root.str("bench", "govscale");
+    root.num("p", opts.p as f64);
+    root.num("scale", opts.scale as f64);
+    root.num("reps", opts.reps as f64);
+    root.array(
+        "points",
+        points
+            .iter()
+            .map(|p| {
+                let mut o = JsonObject::new();
+                o.str("app", &p.app);
+                o.num("c", p.c as f64);
+                o.str("engine", p.engine);
+                o.num("duration_mcycles", p.duration_mcycles);
+                o.num("wall_ms", p.wall_ms);
+                o.num("mcycles_per_host_sec", p.mcycles_per_sec);
+                o
+            })
+            .collect(),
+    );
+    std::fs::write("BENCH_scaling.json", root.render(0) + "\n").expect("write BENCH_scaling.json");
+    println!("\nwrote BENCH_scaling.json ({} points)", points.len());
+    if smoke {
+        println!("smoke govscale complete");
+    }
+}

@@ -25,7 +25,7 @@
 
 use mgs_bench::cli::Options;
 use mgs_bench::suite::by_name;
-use mgs_core::{export_perfetto, DssmpConfig, Machine};
+use mgs_core::{export_perfetto, DssmpConfig, GovernorWaitReport, Machine};
 
 fn main() {
     let mut opts = Options::parse();
@@ -89,18 +89,33 @@ fn main() {
     });
     println!("{sharing}");
 
+    // Governor wait accounting: host-side cost of the skew gate
+    // (gate counts, parks, wall-clock wait histograms per processor).
+    let governor = machine
+        .governor_waits()
+        .map(|snap| GovernorWaitReport::from_snapshot(&snap));
+    let gov_json = match &governor {
+        Some(gov) => {
+            println!("\n== governor waits (host-side) ==\n{gov}");
+            gov.to_json()
+        }
+        None => String::from("null"),
+    };
+
     std::fs::create_dir_all("results").expect("create results dir");
     let path = format!("results/profile_{app_name}_c{c}.json");
     let json = format!(
         "{{\n  \"app\": \"{app_name}\",\n  \"p\": {},\n  \"cluster_size\": {c},\n  \
          \"scale\": {},\n  \"duration_cycles\": {},\n  \"lan_messages\": {},\n  \
-         \"lan_bytes\": {},\n  \"lock_acquires\": {},\n  \"metrics\": {},\n  \"sharing\": {}\n}}\n",
+         \"lan_bytes\": {},\n  \"lock_acquires\": {},\n  \"governor\": {},\n  \
+         \"metrics\": {},\n  \"sharing\": {}\n}}\n",
         opts.p,
         opts.scale,
         report.duration.raw(),
         report.lan_messages,
         report.lan_bytes,
         report.lock_acquires,
+        gov_json,
         metrics.to_json(),
         sharing.to_json(),
     );

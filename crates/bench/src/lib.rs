@@ -12,12 +12,13 @@
 //! | `summary` | Framework metrics (breakup penalty, potential, curvature) vs. paper |
 //! | `ablation` | Design-choice ablations (single-writer opt, lock affinity, page size) |
 //!
-//! Plus three study binaries beyond the paper's figures:
+//! Plus the study binaries beyond the paper's figures:
 //!
 //! | Target | Produces |
 //! |---|---|
 //! | `scaling` | External-latency / page-size / machine-size sweeps |
 //! | `hotpath` | Host-performance microbenchmarks → `BENCH_hotpath.json` |
+//! | `govscale` | Time-governor host-scalability sweep (herd/mutex/epoch engines) → `BENCH_scaling.json` |
 //! | `chaos` | Fault-injection sweep (drop × duplicate × jitter) with verified recovery → `BENCH_chaos.json` |
 //! | `profile` | Observability deep-dive for one app: metrics, hot pages, Perfetto timeline → `results/profile_*.json` |
 //!

@@ -2,8 +2,27 @@
 
 use mgs_net::FaultPlan;
 use mgs_proto::RetryPolicy;
-use mgs_sim::{CostModel, Cycles};
+use mgs_sim::{CostModel, Cycles, SpinPolicy};
 use mgs_vm::PageGeometry;
+
+/// Which engine implements the time governor. All variants bound skew
+/// identically and never charge simulated cycles, so simulated results
+/// are bit-identical; they differ only in host-side scalability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GovernorImpl {
+    /// The sharded, lock-free epoch gate (the default): per-thread
+    /// padded atomic slots, lock-free `tick`, elected-closer window
+    /// advance, targeted wake-ups, spin-then-park waiting.
+    #[default]
+    Epoch,
+    /// The original mutex + condvar governor with targeted per-thread
+    /// wake-ups, retained as the cross-implementation oracle.
+    Mutex,
+    /// The mutex governor with its historical wake-everyone behaviour
+    /// on window advance — the "before" baseline for the `govscale`
+    /// host-scalability bench.
+    MutexHerd,
+}
 
 /// Configuration of a DSSMP machine.
 ///
@@ -55,6 +74,27 @@ pub struct DssmpConfig {
     /// some host-side synchronization cost; 2000 cycles reproduces the
     /// paper's tightly-coupled speedups well.
     pub governor_window: Option<Cycles>,
+    /// Which governor engine paces the run (ignored when
+    /// `governor_window` is `None`). Simulated cycle counts are
+    /// bit-identical across all variants — only host-side cost differs
+    /// (gated by `tests/governor_equivalence.rs`).
+    pub governor_impl: GovernorImpl,
+    /// How often each processor thread consults the governor: at most
+    /// once per this many simulated cycles. `None` picks the default
+    /// (`governor_window / 4`). Larger strides cut governor overhead
+    /// but loosen the skew bound to `window + stride`.
+    pub governor_stride: Option<Cycles>,
+    /// How gated threads wait for the window to advance (epoch gate
+    /// only). [`SpinPolicy::Auto`] spins briefly when host cores ≥ sim
+    /// threads and parks immediately under oversubscription;
+    /// overridable at run time via the `MGS_GOV_SPIN` environment
+    /// variable (`0` = park, `1` = spin).
+    pub governor_spin: SpinPolicy,
+    /// Enable the adaptive window controller (epoch gate only): widens
+    /// the window up to 8× while gate-wait wall-time dominates host
+    /// thread-time, narrows it back when it stops. Off by default —
+    /// the skew bound is then exactly `governor_window` (+ stride).
+    pub governor_adaptive: bool,
     /// Token-affinity window of the MGS lock.
     pub lock_affinity_window: Cycles,
     /// Seed for per-processor workload RNGs.
@@ -104,6 +144,10 @@ impl DssmpConfig {
             readonly_clean_opt: false,
             lazy_read_invalidation: false,
             governor_window: Some(Cycles(2_000)),
+            governor_impl: GovernorImpl::default(),
+            governor_stride: None,
+            governor_spin: SpinPolicy::default(),
+            governor_adaptive: false,
             lock_affinity_window: mgs_sync::MgsLock::DEFAULT_AFFINITY_WINDOW,
             seed: 0x4D47_5331, // "MGS1"
             trace: false,

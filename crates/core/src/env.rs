@@ -6,7 +6,9 @@ use crate::Machine;
 use mgs_cache::{CacheConfig, ProcCache};
 use mgs_obs::{LatencyClass, Metric, ObsSink};
 use mgs_proto::MgsProtocol;
-use mgs_sim::{CostCategory, CostModel, CycleAccount, Cycles, ProcClock, XorShift64};
+use mgs_sim::{
+    CostCategory, CostModel, CycleAccount, Cycles, GovHook, ProcClock, TimeGovernor, XorShift64,
+};
 use mgs_sync::{HwLock, MgsLock};
 use mgs_vm::{AccessKind, PageGeometry, TlbEntry, VRange};
 use std::marker::PhantomData;
@@ -169,6 +171,10 @@ pub struct Env {
     start: (Cycles, CycleAccount),
     next_tick: Cycles,
     tick_stride: Cycles,
+    /// The time governor, hoisted out of the `Arc<Machine>` so the
+    /// tick-throttle path and the sync-primitive hooks dereference no
+    /// machine state.
+    gov: Option<Arc<TimeGovernor>>,
     // --- Hot-path state, hoisted out of the Arc<Machine> so the
     // per-access path dereferences no config and clones no Arc. ---
     /// The protocol handle (one Arc clone at construction).
@@ -203,10 +209,18 @@ impl Env {
         let ssmp = cfg.ssmp_of(proc);
         let null_mgs = cfg.is_tightly_coupled();
         let rng = XorShift64::new(cfg.seed ^ (proc as u64).wrapping_mul(RNG_STREAM) | 1);
+        // Consult the governor at most once per stride of simulated
+        // cycles: the configured stride, or a quarter-window by
+        // default. The observable skew bound is `window + stride`.
         let tick_stride = cfg
             .governor_window
-            .map(|w| Cycles((w.raw() / 4).max(1)))
+            .map(|w| {
+                cfg.governor_stride
+                    .unwrap_or(Cycles((w.raw() / 4).max(1)))
+                    .max(Cycles(1))
+            })
             .unwrap_or(Cycles::MAX);
+        let gov = machine.governor().cloned();
         let proto = Arc::clone(machine.protocol());
         let geometry = cfg.geometry;
         let cluster_size = cfg.cluster_size;
@@ -223,6 +237,7 @@ impl Env {
             start: (Cycles::ZERO, CycleAccount::new()),
             next_tick: Cycles::ZERO,
             tick_stride,
+            gov,
             proto,
             geometry,
             cluster_size,
@@ -416,10 +431,8 @@ impl Env {
     /// to lock time.
     pub fn acquire(&mut self, lock: &MgsLock) {
         self.maybe_tick();
-        self.gov_blocked();
         let requested = self.clock.now();
-        let (granted, hit) = lock.acquire(self.ssmp, requested);
-        self.gov_unblocked();
+        let (granted, hit) = lock.acquire_gov(self.ssmp, requested, self.gov_hook());
         if let Some(obs) = &self.obs {
             let m = if hit {
                 Metric::LockAcquiresLocal
@@ -452,10 +465,8 @@ impl Env {
     /// actions; see [`HwLock`] for when this is correct).
     pub fn acquire_hw(&mut self, lock: &HwLock) {
         self.maybe_tick();
-        self.gov_blocked();
         let requested = self.clock.now();
-        let granted = lock.acquire(requested);
-        self.gov_unblocked();
+        let granted = lock.acquire_gov(requested, self.gov_hook());
         if let Some(obs) = &self.obs {
             obs.registry.count(self.proc, Metric::HwLockAcquires, 1);
             obs.registry.record_latency(
@@ -481,10 +492,11 @@ impl Env {
     pub fn barrier(&mut self) {
         self.flush();
         self.maybe_tick();
-        self.gov_blocked();
         let arrived = self.clock.now();
-        let released = self.machine.barrier_obj().arrive(arrived);
-        self.gov_unblocked();
+        let released = self
+            .machine
+            .barrier_obj()
+            .arrive_gov(arrived, self.gov_hook());
         if let Some(obs) = &self.obs {
             obs.registry.count(self.proc, Metric::BarrierArrivals, 1);
             obs.registry.record_latency(
@@ -505,10 +517,11 @@ impl Env {
     /// [`barrier`](Env::barrier).
     pub fn barrier_sync_only(&mut self) {
         self.maybe_tick();
-        self.gov_blocked();
         let arrived = self.clock.now();
-        let released = self.machine.barrier_obj().arrive(arrived);
-        self.gov_unblocked();
+        let released = self
+            .machine
+            .barrier_obj()
+            .arrive_gov(arrived, self.gov_hook());
         if let Some(obs) = &self.obs {
             obs.registry.count(self.proc, Metric::BarrierArrivals, 1);
             obs.registry.record_latency(
@@ -550,27 +563,21 @@ impl Env {
             return; // governor disabled
         }
         if self.clock.now() >= self.next_tick {
-            if let Some(gov) = self.machine.governor() {
+            if let Some(gov) = &self.gov {
                 gov.tick(self.proc, self.clock.now());
             }
             self.next_tick = self.clock.now() + self.tick_stride;
         }
     }
 
-    fn gov_blocked(&self) {
-        if let Some(gov) = self.machine.governor() {
-            gov.blocked(self.proc);
-        }
-    }
-
-    fn gov_unblocked(&self) {
-        if let Some(gov) = self.machine.governor() {
-            gov.unblocked(self.proc);
-        }
+    /// Governor hook handed to sync primitives so they can mark this
+    /// thread blocked for exactly the duration of a host-side wait.
+    fn gov_hook(&self) -> Option<GovHook<'_>> {
+        self.gov.as_deref().map(|g| GovHook::new(g, self.proc))
     }
 
     pub(crate) fn finish(self) -> ProcResult {
-        if let Some(gov) = self.machine.governor() {
+        if let Some(gov) = &self.gov {
             gov.finished(self.proc);
         }
         let (start_time, start_account) = self.start;

@@ -52,7 +52,7 @@ mod trace;
 pub mod framework;
 pub mod micro;
 
-pub use config::DssmpConfig;
+pub use config::{DssmpConfig, GovernorImpl};
 pub use env::{Env, SharedArray, Word};
 pub use machine::Machine;
 pub use report::RunReport;
@@ -61,10 +61,12 @@ pub use trace::{export_perfetto, TraceEvent, TraceKind};
 // Re-exports used throughout the public API.
 pub use mgs_net::{FaultPlan, FaultSpec, NetStats};
 pub use mgs_obs::{
-    HistSummary, LatencyClass, Metric, MetricsReport, ObsSink, PageProfile, SharingReport,
-    XactKind, XactOutcome,
+    GovernorWaitReport, HistSummary, LatencyClass, Metric, MetricsReport, ObsSink, PageProfile,
+    SharingReport, XactKind, XactOutcome,
 };
 pub use mgs_proto::{ProtocolError, RetryPolicy};
-pub use mgs_sim::{CostCategory, CostModel, CycleAccount, Cycles};
+pub use mgs_sim::{
+    CostCategory, CostModel, CycleAccount, Cycles, GovWaitSnapshot, GovWaitStats, SpinPolicy,
+};
 pub use mgs_sync::{HwLock, MgsBarrier, MgsLock};
 pub use mgs_vm::{AccessKind, PageGeometry};

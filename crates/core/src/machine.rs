@@ -3,11 +3,11 @@
 use crate::env::{Env, SharedArray, Word};
 use crate::report::RunReport;
 use crate::trace::TraceEvent;
-use crate::DssmpConfig;
+use crate::{DssmpConfig, GovernorImpl};
 use mgs_net::LanModel;
 use mgs_obs::ObsSink;
 use mgs_proto::{MgsProtocol, ProtoConfig, ProtoStats};
-use mgs_sim::{Occupancy, TimeGovernor};
+use mgs_sim::{EpochGate, GovWaitSnapshot, Occupancy, TimeGovernor};
 use mgs_sync::{HwLock, MgsBarrier, MgsLock};
 use mgs_vm::{AccessKind, SharedHeap};
 use parking_lot::Mutex;
@@ -66,9 +66,17 @@ impl Machine {
             cfg.n_ssmps(),
             cfg.cluster_size,
         ));
-        let governor = cfg
-            .governor_window
-            .map(|w| Arc::new(TimeGovernor::new(cfg.n_procs, w)));
+        let governor = cfg.governor_window.map(|w| {
+            Arc::new(match cfg.governor_impl {
+                GovernorImpl::Epoch => TimeGovernor::Epoch(
+                    EpochGate::new(cfg.n_procs, w)
+                        .with_spin(cfg.governor_spin)
+                        .with_adaptive(cfg.governor_adaptive),
+                ),
+                GovernorImpl::Mutex => TimeGovernor::new_mutex_oracle(cfg.n_procs, w),
+                GovernorImpl::MutexHerd => TimeGovernor::new_mutex_herd(cfg.n_procs, w),
+            })
+        });
         let trace = cfg.trace.then(|| Mutex::new(Vec::new()));
         let obs = cfg.observe.then(|| {
             Arc::new(ObsSink::new(
@@ -120,6 +128,14 @@ impl Machine {
 
     pub(crate) fn governor(&self) -> Option<&Arc<TimeGovernor>> {
         self.governor.as_ref()
+    }
+
+    /// Per-processor governor wait accounting for the run so far, when
+    /// a governor is attached. Host-side observations only (gate
+    /// counts, condvar parks, wall-clock wait histograms) — the
+    /// governor never touches simulated time.
+    pub fn governor_waits(&self) -> Option<GovWaitSnapshot> {
+        self.governor.as_ref().map(|g| g.wait_snapshot())
     }
 
     pub(crate) fn record_trace(&self, event: TraceEvent) {

@@ -33,11 +33,13 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+mod gov;
 mod metrics;
 mod perfetto;
 mod profiler;
 
 pub use event::{ObsEvent, XactKind, XactOutcome};
+pub use gov::{GovernorWaitReport, ProcGovWaits};
 pub use metrics::{HistSummary, LatencyClass, Metric, MetricsReport, ObsRegistry};
 pub use perfetto::PerfettoTrace;
 pub use profiler::{PageProfile, SharingProfiler, SharingReport};

@@ -9,21 +9,42 @@
 //! heap allocations.
 //!
 //! Kept to a single `#[test]` so no concurrent test case can allocate
-//! while the measured window is open.
+//! while the measured window is open — and counting is scoped to the
+//! *measured thread* (a thread-local arm switch), because the test
+//! harness's own threads allocate lazily at unpredictable times: the
+//! first time libtest's main thread blocks on its result channel, the
+//! standard library initializes that thread's channel context on the
+//! heap, and whether that lands inside the window is a timing race.
 
 use mgs_proto::SpanDiff;
 use mgs_sim::XorShift64;
 use mgs_vm::{FrameAllocator, PageGeometry, TwinPool};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Armed only on the thread whose allocations are under test.
+    /// Const-initialized so reading it never itself allocates.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is the measured one. `try_with`
+/// (not `with`) so late allocations during thread teardown, after the
+/// thread-local is destroyed, stay safe.
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -32,7 +53,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -75,11 +98,13 @@ fn steady_state_twin_diff_merge_allocates_nothing() {
     cycle(WORDS);
     cycle(WORDS / 2);
 
+    COUNTING.with(|c| c.set(true));
     let before = ALLOCS.load(Ordering::Relaxed);
     for round in 0..100u64 {
         cycle(round % 32);
     }
     let after = ALLOCS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
     assert_eq!(
         after - before,
         0,

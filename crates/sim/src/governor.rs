@@ -1,8 +1,25 @@
 //! Windowed time governor bounding simulated-clock skew.
+//!
+//! [`TimeGovernor`] is the front door: an enum over the two
+//! interchangeable implementations.
+//!
+//! * [`EpochGate`](crate::EpochGate) — the sharded, lock-free default
+//!   (see `gate.rs` for the design).
+//! * [`MutexGovernor`] — the original mutex + condvar implementation,
+//!   retained as the correctness oracle for cross-implementation
+//!   equivalence tests and as the "before" baseline for the `govscale`
+//!   host-scalability bench (including its historical `notify_all`
+//!   thundering-herd wake-up mode).
+//!
+//! Both bound skew identically and neither ever charges simulated
+//! cycles, so simulated results are bit-identical across
+//! implementations; `tests/governor_equivalence.rs` enforces this.
 
+use crate::gate::{EpochGate, GovWaitSnapshot, WaitStat};
 use crate::Cycles;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Bounds the skew between the simulated clocks of concurrently-running
 /// processor threads.
@@ -36,18 +53,153 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// t.join().unwrap();
 /// ```
 #[derive(Debug)]
-pub struct TimeGovernor {
+pub enum TimeGovernor {
+    /// The sharded, lock-free epoch gate (the default).
+    Epoch(EpochGate),
+    /// The retained mutex-based oracle.
+    Oracle(MutexGovernor),
+}
+
+impl TimeGovernor {
+    /// Creates the default (epoch-gate) governor for `n` threads with
+    /// the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `window` is zero cycles.
+    pub fn new(n: usize, window: Cycles) -> TimeGovernor {
+        TimeGovernor::Epoch(EpochGate::new(n, window))
+    }
+
+    /// Creates the retained mutex-based governor (the equivalence
+    /// oracle), with targeted per-thread wake-ups.
+    pub fn new_mutex_oracle(n: usize, window: Cycles) -> TimeGovernor {
+        TimeGovernor::Oracle(MutexGovernor::new(n, window))
+    }
+
+    /// Creates the mutex-based governor with its historical
+    /// wake-everyone behaviour on window advance. Host-performance
+    /// baseline for `govscale`; simulated results are identical to the
+    /// other variants.
+    pub fn new_mutex_herd(n: usize, window: Cycles) -> TimeGovernor {
+        TimeGovernor::Oracle(MutexGovernor::new(n, window).with_herd_wakeups())
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> Cycles {
+        match self {
+            TimeGovernor::Epoch(g) => g.window(),
+            TimeGovernor::Oracle(g) => g.window(),
+        }
+    }
+
+    /// Called by thread `id` between operations with its current local
+    /// time. If the thread has run past the current window it waits
+    /// until the window advances.
+    #[inline]
+    pub fn tick(&self, id: usize, local_time: Cycles) {
+        match self {
+            TimeGovernor::Epoch(g) => g.tick(id, local_time),
+            TimeGovernor::Oracle(g) => g.tick(id, local_time),
+        }
+    }
+
+    /// Marks thread `id` as blocked on real synchronization. The window
+    /// may advance without it. Pair with [`unblocked`](Self::unblocked).
+    pub fn blocked(&self, id: usize) {
+        match self {
+            TimeGovernor::Epoch(g) => g.blocked(id),
+            TimeGovernor::Oracle(g) => g.blocked(id),
+        }
+    }
+
+    /// Marks thread `id` as runnable again after a real block.
+    pub fn unblocked(&self, id: usize) {
+        match self {
+            TimeGovernor::Epoch(g) => g.unblocked(id),
+            TimeGovernor::Oracle(g) => g.unblocked(id),
+        }
+    }
+
+    /// Marks thread `id` as finished for the rest of the run.
+    pub fn finished(&self, id: usize) {
+        match self {
+            TimeGovernor::Epoch(g) => g.finished(id),
+            TimeGovernor::Oracle(g) => g.finished(id),
+        }
+    }
+
+    /// Captures per-thread wait accounting (host-side only; never
+    /// touches simulated time).
+    pub fn wait_snapshot(&self) -> GovWaitSnapshot {
+        match self {
+            TimeGovernor::Epoch(g) => g.wait_snapshot(),
+            TimeGovernor::Oracle(g) => g.wait_snapshot(),
+        }
+    }
+}
+
+/// Borrowed handle pairing a governor with a processor-thread id, for
+/// layers (like `mgs-sync`) that mark blocked sections without knowing
+/// the thread's `Env`.
+#[derive(Debug, Clone, Copy)]
+pub struct GovHook<'a> {
+    gov: &'a TimeGovernor,
+    id: usize,
+}
+
+impl<'a> GovHook<'a> {
+    /// Pairs `gov` with thread `id`.
+    pub fn new(gov: &'a TimeGovernor, id: usize) -> GovHook<'a> {
+        GovHook { gov, id }
+    }
+
+    /// Marks the thread blocked on real synchronization; the returned
+    /// guard marks it runnable again when dropped. Scoping the guard to
+    /// exactly the host-side wait keeps the governor's view of
+    /// runnability tight: an uncontended acquire never reports a block.
+    pub fn enter_blocked(self) -> BlockedSection<'a> {
+        self.gov.blocked(self.id);
+        BlockedSection {
+            gov: self.gov,
+            id: self.id,
+        }
+    }
+}
+
+/// RAII guard for a governor blocked section; see
+/// [`GovHook::enter_blocked`].
+#[derive(Debug)]
+pub struct BlockedSection<'a> {
+    gov: &'a TimeGovernor,
+    id: usize,
+}
+
+impl Drop for BlockedSection<'_> {
+    fn drop(&mut self) {
+        self.gov.unblocked(self.id);
+    }
+}
+
+/// The original mutex + per-thread-condvar governor, retained as the
+/// cross-implementation oracle and bench baseline. Semantics are
+/// identical to [`EpochGate`](crate::EpochGate); only host-side cost
+/// differs (every slow path serializes on one mutex).
+#[derive(Debug)]
+pub struct MutexGovernor {
     state: Mutex<GovState>,
     /// One condvar per thread, so a window advance wakes only the
-    /// threads whose gate the new window actually covers. A single
-    /// shared condvar with `notify_all` would wake every gated thread
-    /// on every advance — a thundering herd in which most wakers
-    /// re-acquire the state mutex just to discover they must sleep
-    /// again.
+    /// threads whose gate the new window actually covers (unless herd
+    /// mode re-enables the historical wake-everyone behaviour).
     conds: Vec<Condvar>,
     window: u64,
     /// Mirror of `state.window_end` for the lock-free fast path.
     window_end: AtomicU64,
+    /// When set, window advance notifies every gated thread — the
+    /// pre-fix thundering herd, kept selectable as the `govscale`
+    /// "before" baseline.
+    herd: bool,
+    stats: Vec<WaitStat>,
 }
 
 #[derive(Debug)]
@@ -70,16 +222,16 @@ enum ThreadStatus {
     Done,
 }
 
-impl TimeGovernor {
+impl MutexGovernor {
     /// Creates a governor for `n` threads with the given window size.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `window` is zero cycles.
-    pub fn new(n: usize, window: Cycles) -> TimeGovernor {
+    pub fn new(n: usize, window: Cycles) -> MutexGovernor {
         assert!(n > 0, "governor needs at least one thread");
         assert!(!window.is_zero(), "governor window must be nonzero");
-        TimeGovernor {
+        MutexGovernor {
             state: Mutex::new(GovState {
                 window_end: window.raw(),
                 status: vec![ThreadStatus::Running; n],
@@ -87,7 +239,16 @@ impl TimeGovernor {
             conds: (0..n).map(|_| Condvar::new()).collect(),
             window: window.raw(),
             window_end: AtomicU64::new(window.raw()),
+            herd: false,
+            stats: (0..n).map(|_| WaitStat::new()).collect(),
         }
+    }
+
+    /// Re-enables the historical `notify_all`-equivalent wake-up on
+    /// every window advance (bench baseline only).
+    pub fn with_herd_wakeups(mut self) -> MutexGovernor {
+        self.herd = true;
+        self
     }
 
     /// The window size.
@@ -105,6 +266,7 @@ impl TimeGovernor {
         if t < self.window_end.load(Ordering::Acquire) {
             return;
         }
+        self.stats[id].record_gate();
         let mut st = self.state.lock();
         if t < st.window_end {
             // The window advanced while we were acquiring the lock.
@@ -113,8 +275,14 @@ impl TimeGovernor {
         }
         st.status[id] = ThreadStatus::AtGate(t);
         self.try_advance(&mut st);
-        while t >= st.window_end {
-            self.conds[id].wait(&mut st);
+        if t >= st.window_end {
+            let start = Instant::now();
+            let mut parks = 0u64;
+            while t >= st.window_end {
+                parks += 1;
+                self.conds[id].wait(&mut st);
+            }
+            self.stats[id].record_wait(start.elapsed().as_nanos() as u64, parks);
         }
         st.status[id] = ThreadStatus::Running;
     }
@@ -138,6 +306,13 @@ impl TimeGovernor {
         let mut st = self.state.lock();
         st.status[id] = ThreadStatus::Done;
         self.try_advance(&mut st);
+    }
+
+    /// Captures per-thread wait accounting (host-side only).
+    pub fn wait_snapshot(&self) -> GovWaitSnapshot {
+        GovWaitSnapshot {
+            per_proc: self.stats.iter().map(|s| s.snapshot()).collect(),
+        }
     }
 
     /// Advances the window if no thread is still running inside it.
@@ -167,9 +342,10 @@ impl TimeGovernor {
         self.window_end.store(st.window_end, Ordering::Release);
         // Targeted wake-ups: only threads whose gate now falls inside
         // the advanced window can make progress, so wake exactly those.
+        // (Herd mode wakes every gated thread — the pre-fix behaviour.)
         for (id, s) in st.status.iter().enumerate() {
             if let ThreadStatus::AtGate(t) = *s {
-                if t < st.window_end {
+                if self.herd || t < st.window_end {
                     self.conds[id].notify_one();
                 }
             }
@@ -192,60 +368,97 @@ mod tests {
 
     #[test]
     fn fast_thread_waits_for_slow() {
-        let gov = Arc::new(TimeGovernor::new(2, Cycles(100)));
-        let g = Arc::clone(&gov);
-        let fast = std::thread::spawn(move || {
-            g.tick(0, Cycles(1000)); // far ahead; must wait
-        });
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!fast.is_finished(), "fast thread should be gated");
-        // Slow thread reaches the gate too; window advances.
-        gov.tick(1, Cycles(990));
-        // The slow thread retires; the window may now advance past the
-        // fast thread's gate.
-        gov.finished(1);
-        fast.join().unwrap();
+        for gov in [
+            TimeGovernor::new(2, Cycles(100)),
+            TimeGovernor::new_mutex_oracle(2, Cycles(100)),
+            TimeGovernor::new_mutex_herd(2, Cycles(100)),
+        ] {
+            let gov = Arc::new(gov);
+            let g = Arc::clone(&gov);
+            let fast = std::thread::spawn(move || {
+                g.tick(0, Cycles(1000)); // far ahead; must wait
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!fast.is_finished(), "fast thread should be gated");
+            // Slow thread reaches the gate too; window advances.
+            gov.tick(1, Cycles(990));
+            // The slow thread retires; the window may now advance past
+            // the fast thread's gate.
+            gov.finished(1);
+            fast.join().unwrap();
+        }
     }
 
     #[test]
     fn blocked_thread_does_not_hold_window() {
-        let gov = Arc::new(TimeGovernor::new(2, Cycles(100)));
-        gov.blocked(1);
-        // Thread 0 can sail through many windows alone.
-        for t in (0..5_000).step_by(100) {
-            gov.tick(0, Cycles(t));
+        for gov in [
+            TimeGovernor::new(2, Cycles(100)),
+            TimeGovernor::new_mutex_oracle(2, Cycles(100)),
+        ] {
+            gov.blocked(1);
+            // Thread 0 can sail through many windows alone.
+            for t in (0..5_000).step_by(100) {
+                gov.tick(0, Cycles(t));
+            }
+            gov.unblocked(1);
+            gov.finished(1);
+            gov.tick(0, Cycles(10_000));
         }
-        gov.unblocked(1);
-        gov.finished(1);
-        gov.tick(0, Cycles(10_000));
     }
 
     #[test]
     fn finished_thread_does_not_hold_window() {
-        let gov = Arc::new(TimeGovernor::new(2, Cycles(50)));
-        gov.finished(1);
-        gov.tick(0, Cycles(100_000));
+        for gov in [
+            TimeGovernor::new(2, Cycles(50)),
+            TimeGovernor::new_mutex_oracle(2, Cycles(50)),
+        ] {
+            gov.finished(1);
+            gov.tick(0, Cycles(100_000));
+        }
     }
 
     #[test]
     fn many_threads_progress_together() {
-        let n = 8;
-        let gov = Arc::new(TimeGovernor::new(n, Cycles(10)));
-        let mut handles = Vec::new();
-        for id in 0..n {
-            let g = Arc::clone(&gov);
-            handles.push(std::thread::spawn(move || {
-                let mut t = 0u64;
-                for step in 0..200 {
-                    t += 1 + ((id as u64 + step) % 7);
-                    g.tick(id, Cycles(t));
-                }
-                g.finished(id);
-                t
-            }));
+        for gov in [
+            TimeGovernor::new(8, Cycles(10)),
+            TimeGovernor::new_mutex_oracle(8, Cycles(10)),
+            TimeGovernor::new_mutex_herd(8, Cycles(10)),
+        ] {
+            let n = 8;
+            let gov = Arc::new(gov);
+            let mut handles = Vec::new();
+            for id in 0..n {
+                let g = Arc::clone(&gov);
+                handles.push(std::thread::spawn(move || {
+                    let mut t = 0u64;
+                    for step in 0..200 {
+                        t += 1 + ((id as u64 + step) % 7);
+                        g.tick(id, Cycles(t));
+                    }
+                    g.finished(id);
+                    t
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
         }
-        for h in handles {
-            h.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_section_guard_unblocks_on_drop() {
+        let gov = TimeGovernor::new(2, Cycles(100));
+        let hook = GovHook::new(&gov, 1);
+        {
+            let _section = hook.enter_blocked();
+            // Window can advance past the blocked thread.
+            for t in (0..5_000).step_by(100) {
+                gov.tick(0, Cycles(t));
+            }
         }
+        // Thread 1 is runnable again: it gates (and is waited for).
+        gov.tick(1, Cycles(4_900));
+        gov.finished(1);
+        gov.tick(0, Cycles(50_000));
     }
 }

@@ -15,7 +15,11 @@
 //! * [`Occupancy`] — an occupancy clock modelling a contended serial
 //!   resource (a protocol engine, a LAN interface, a lock token).
 //! * [`TimeGovernor`] — a windowed skew bound keeping the simulated
-//!   clocks of concurrently-running processor threads close together.
+//!   clocks of concurrently-running processor threads close together;
+//!   its default engine is [`EpochGate`], a sharded lock-free epoch
+//!   gate with targeted wake-ups and adaptive spin-then-park waiting
+//!   (the original mutex-based [`MutexGovernor`] is retained as the
+//!   equivalence oracle).
 //! * [`XorShift64`] — a small deterministic RNG used by workloads.
 //!
 //! # Example
@@ -36,6 +40,7 @@
 mod account;
 mod clock;
 mod cost;
+mod gate;
 mod governor;
 mod resource;
 mod rng;
@@ -45,7 +50,8 @@ mod time;
 pub use account::{CostCategory, CycleAccount};
 pub use clock::ProcClock;
 pub use cost::{CleanTier, CostModel};
-pub use governor::TimeGovernor;
+pub use gate::{EpochGate, GovWaitSnapshot, GovWaitStats, SpinPolicy, WAIT_HIST_BUCKETS};
+pub use governor::{BlockedSection, GovHook, MutexGovernor, TimeGovernor};
 pub use resource::Occupancy;
 pub use rng::XorShift64;
 pub use stats::{Counter, RunningStats};

@@ -1,6 +1,6 @@
 //! The MGS hierarchical tree barrier.
 
-use mgs_sim::{CostModel, Cycles};
+use mgs_sim::{CostModel, Cycles, GovHook};
 use parking_lot::{Condvar, Mutex};
 
 #[derive(Debug)]
@@ -107,6 +107,15 @@ impl MgsBarrier {
     /// processors have arrived and returns the common simulated release
     /// time.
     pub fn arrive(&self, now: Cycles) -> Cycles {
+        self.arrive_gov(now, None)
+    }
+
+    /// [`arrive`](Self::arrive) with governor integration: when a
+    /// [`GovHook`] is supplied, a non-final arriver is marked blocked
+    /// for exactly the host-side wait for the episode's last arrival,
+    /// so the governor window can advance without it. The final arriver
+    /// never reports a block.
+    pub fn arrive_gov(&self, now: Cycles, gov: Option<GovHook<'_>>) -> Cycles {
         let mut inner = self.inner.lock();
         inner.arrived += 1;
         inner.latest = inner.latest.max(now);
@@ -119,6 +128,7 @@ impl MgsBarrier {
             inner.release_time
         } else {
             let epoch = inner.epoch;
+            let _blocked = gov.map(GovHook::enter_blocked);
             while inner.epoch == epoch {
                 self.cond.wait(&mut inner);
             }

@@ -1,6 +1,6 @@
 //! Intra-SSMP hardware locks.
 
-use mgs_sim::{CostModel, Cycles};
+use mgs_sim::{CostModel, Cycles, GovHook};
 use parking_lot::{Condvar, Mutex};
 
 /// A plain hardware spin lock (LL/SC over hardware cache coherence).
@@ -55,9 +55,20 @@ impl HwLock {
     /// Acquires at simulated time `now`, blocking the calling thread
     /// while held. Returns the simulated grant time.
     pub fn acquire(&self, now: Cycles) -> Cycles {
+        self.acquire_gov(now, None)
+    }
+
+    /// [`acquire`](Self::acquire) with governor integration: when a
+    /// [`GovHook`] is supplied, the calling thread is marked blocked
+    /// for exactly the host-side wait on a held lock; an uncontended
+    /// acquire never reports a block.
+    pub fn acquire_gov(&self, now: Cycles, gov: Option<GovHook<'_>>) -> Cycles {
         let mut inner = self.inner.lock();
-        while inner.held {
-            self.cond.wait(&mut inner);
+        if inner.held {
+            let _blocked = gov.map(GovHook::enter_blocked);
+            while inner.held {
+                self.cond.wait(&mut inner);
+            }
         }
         inner.held = true;
         now.max(inner.free_at) + self.acquire_cost

@@ -1,6 +1,6 @@
 //! The MGS token-based distributed lock.
 
-use mgs_sim::{CostModel, Counter, Cycles};
+use mgs_sim::{CostModel, Counter, Cycles, GovHook};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -147,6 +147,20 @@ impl MgsLock {
     /// acquire completes, and whether it needed no inter-SSMP
     /// communication.
     pub fn acquire(&self, ssmp: usize, now: Cycles) -> (Cycles, bool) {
+        self.acquire_gov(ssmp, now, None)
+    }
+
+    /// [`acquire`](Self::acquire) with governor integration: when a
+    /// [`GovHook`] is supplied, the calling thread is marked blocked
+    /// for exactly the host-side wait (a contended acquire), so the
+    /// governor window can advance without it. Uncontended acquires
+    /// never report a block.
+    pub fn acquire_gov(
+        &self,
+        ssmp: usize,
+        now: Cycles,
+        gov: Option<GovHook<'_>>,
+    ) -> (Cycles, bool) {
         let mut inner = self.inner.lock();
         self.stats.acquires.incr();
         if !inner.held {
@@ -164,6 +178,10 @@ impl MgsLock {
             req_time: now,
             grant: None,
         });
+        // Holding `inner` here, so the releaser cannot have granted us
+        // the lock before we mark ourselves blocked. Governor calls
+        // never take sync-primitive mutexes, so the nesting is safe.
+        let _blocked = gov.map(GovHook::enter_blocked);
         loop {
             if let Some(pos) = inner
                 .waiters

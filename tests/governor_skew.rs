@@ -1,0 +1,106 @@
+//! The governor's skew bound: with a window `w` and a tick stride `δ`,
+//! no simulated clock may run more than `w + δ` cycles ahead of the
+//! slowest still-running processor.
+//!
+//! Why `w + δ` and not `w`: the governor only sees a clock when the
+//! runtime ticks it, and ticks are throttled to at most one per `δ`
+//! simulated cycles (`DssmpConfig::governor_stride`, default `w / 4`).
+//! Between ticks a processor can charge up to `δ` cycles past the last
+//! window end it was gated against, so the instantaneous bound is
+//! `window + stride` — still O(w), and tunable: a larger stride trades
+//! a looser bound for fewer governor consultations.
+//!
+//! The probe is host-side and zero-perturbation: every processor
+//! publishes its simulated clock into a shared atomic slot after each
+//! one-cycle charge (`u64::MAX` once finished, mirroring the
+//! governor's own quorum rule), and asserts its own clock never
+//! exceeds the minimum published clock of the still-running processors
+//! by more than the bound. Published values can be stale — but a stale
+//! value only *under*-reports the laggard's progress, so the check is
+//! conservative in the right direction: it can only over-estimate
+//! skew, never hide a violation.
+
+use mgs_repro::core::{Cycles, DssmpConfig, GovernorImpl, Machine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PROCS: usize = 8;
+const CYCLES_PER_PROC: u64 = 4_000;
+
+/// Runs a lock-free, barrier-free workload of unit compute charges and
+/// returns the maximum observed skew (own clock minus the minimum
+/// published clock of any still-running peer).
+fn max_observed_skew(impl_: GovernorImpl, window: u64, stride: Option<u64>) -> u64 {
+    let mut cfg = DssmpConfig::new(PROCS, PROCS);
+    cfg.governor_window = Some(Cycles(window));
+    cfg.governor_stride = stride.map(Cycles);
+    cfg.governor_impl = impl_;
+    let machine = Machine::new(cfg);
+    let clocks: Arc<Vec<AtomicU64>> = Arc::new((0..PROCS).map(|_| AtomicU64::new(0)).collect());
+    let worst = Arc::new(AtomicU64::new(0));
+    {
+        let clocks = Arc::clone(&clocks);
+        let worst = Arc::clone(&worst);
+        machine.run(move |env| {
+            let me = env.pid();
+            let mut local_worst = 0u64;
+            for _ in 0..CYCLES_PER_PROC {
+                env.compute(1);
+                let now = env.now().raw();
+                clocks[me].store(now, Ordering::SeqCst);
+                let min = clocks
+                    .iter()
+                    .map(|c| c.load(Ordering::SeqCst))
+                    .filter(|&c| c != u64::MAX)
+                    .min()
+                    .unwrap_or(now);
+                local_worst = local_worst.max(now.saturating_sub(min));
+            }
+            // Finished: drop out of the probe the same way the
+            // governor drops finished threads from its quorum.
+            clocks[me].store(u64::MAX, Ordering::SeqCst);
+            worst.fetch_max(local_worst, Ordering::SeqCst);
+        });
+    }
+    worst.load(Ordering::SeqCst)
+}
+
+#[test]
+fn skew_stays_within_window_plus_stride_explicit_stride() {
+    for impl_ in [GovernorImpl::Epoch, GovernorImpl::Mutex] {
+        let (window, stride) = (200u64, 50u64);
+        let skew = max_observed_skew(impl_, window, Some(stride));
+        assert!(
+            skew <= window + stride,
+            "{impl_:?}: observed skew {skew} > window {window} + stride {stride}"
+        );
+        // And the gate must actually have bitten: a free-running
+        // 8-thread race over 4000 cycles with no governor would show
+        // skew far above one window on any real host.
+        assert!(skew > 0, "{impl_:?}: probe never observed any skew");
+    }
+}
+
+#[test]
+fn skew_stays_within_window_plus_default_stride() {
+    // Default stride is window / 4.
+    let window = 400u64;
+    let skew = max_observed_skew(GovernorImpl::Epoch, window, None);
+    assert!(
+        skew <= window + window / 4,
+        "observed skew {skew} > window {window} + default stride {}",
+        window / 4
+    );
+}
+
+#[test]
+fn coarse_stride_loosens_the_bound_but_still_holds() {
+    // A stride of 2 windows: ticks are rare, the bound is accordingly
+    // looser, and the invariant still holds at `window + stride`.
+    let (window, stride) = (100u64, 200u64);
+    let skew = max_observed_skew(GovernorImpl::Epoch, window, Some(stride));
+    assert!(
+        skew <= window + stride,
+        "observed skew {skew} > window {window} + stride {stride}"
+    );
+}

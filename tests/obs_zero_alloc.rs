@@ -9,19 +9,40 @@
 //! perform **zero** heap allocations.
 //!
 //! Kept to a single `#[test]` so no concurrent test case can allocate
-//! while the measured window is open.
+//! while the measured window is open — and counting is scoped to the
+//! *measured thread* (a thread-local arm switch), because the test
+//! harness's own threads allocate lazily at unpredictable times: the
+//! first time libtest's main thread blocks on its result channel, the
+//! standard library initializes that thread's channel context on the
+//! heap, and whether that lands inside the window is a timing race.
 
 use mgs_repro::core::{AccessKind, DssmpConfig, Machine};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Armed only on the thread whose allocations are under test.
+    /// Const-initialized so reading it never itself allocates.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is the measured one. `try_with`
+/// (not `with`) so late allocations during thread teardown, after the
+/// thread-local is destroyed, stay safe.
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -30,7 +51,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -65,6 +88,7 @@ fn per_access_metrics_path_allocates_nothing() {
 
         // Steady state: every access still counts loads/stores and a
         // hardware miss class into the registry shard.
+        COUNTING.with(|c| c.set(true));
         let before = ALLOCS.load(Ordering::Relaxed);
         for round in 0..50u64 {
             for i in 0..WORDS {
@@ -77,6 +101,7 @@ fn per_access_metrics_path_allocates_nothing() {
             std::hint::black_box(acc);
         }
         let after = ALLOCS.load(Ordering::Relaxed);
+        COUNTING.with(|c| c.set(false));
         MEASURED.store(after - before, Ordering::Relaxed);
     });
 
