@@ -30,6 +30,7 @@
 
 use mgs_bench::cli::Options;
 use mgs_bench::json::JsonObject;
+use mgs_bench::provenance;
 use mgs_bench::suite::by_name;
 use mgs_core::{DssmpConfig, GovernorImpl, Machine};
 use std::time::Instant;
@@ -159,6 +160,7 @@ fn main() {
     root.num("p", opts.p as f64);
     root.num("scale", opts.scale as f64);
     root.num("reps", opts.reps as f64);
+    provenance::stamp(&mut root);
     root.array(
         "points",
         points
@@ -166,6 +168,7 @@ fn main() {
             .map(|p| {
                 let mut o = JsonObject::new();
                 o.str("app", &p.app);
+                o.num("p", opts.p as f64);
                 o.num("c", p.c as f64);
                 o.str("engine", p.engine);
                 o.num("duration_mcycles", p.duration_mcycles);

@@ -15,7 +15,10 @@
 //!
 //! Flags beyond the usual `--p`/`--scale`: `--c <C>` picks the cluster
 //! size (default 4, or `P` when `P < 4`); `--top <N>` sizes the hot-page
-//! table (default 10); `--smoke` is `--quick` at `P = 8` — the CI
+//! table (default 10); `--engine <threaded|virtual>` picks the
+//! execution engine (the governor-wait table is labeled with whichever
+//! engine produced it); `--workers <W>` bounds the virtual engine's
+//! host worker pool; `--smoke` is `--quick` at `P = 8` — the CI
 //! configuration; `--no-trace` skips the timeline (observability
 //! without the trace's allocation overhead).
 //!
@@ -25,7 +28,7 @@
 
 use mgs_bench::cli::Options;
 use mgs_bench::suite::by_name;
-use mgs_core::{export_perfetto, DssmpConfig, GovernorWaitReport, Machine};
+use mgs_core::{export_perfetto, DssmpConfig, ExecutionEngine, GovernorWaitReport, Machine};
 
 fn main() {
     let mut opts = Options::parse();
@@ -33,6 +36,8 @@ fn main() {
     let mut top = 10usize;
     let mut trace = true;
     let mut smoke = false;
+    let mut engine = ExecutionEngine::Threaded;
+    let mut workers: Option<usize> = None;
     // Binary-specific flags arrive as positionals; drain them.
     let mut app_name = String::from("jacobi");
     let mut it = std::mem::take(&mut opts.args).into_iter();
@@ -52,6 +57,20 @@ fn main() {
                     .expect("--top needs an integer");
             }
             "--no-trace" => trace = false,
+            "--engine" => {
+                engine = match it.next().as_deref() {
+                    Some("threaded") => ExecutionEngine::Threaded,
+                    Some("virtual") => ExecutionEngine::Virtual,
+                    other => panic!("--engine needs threaded|virtual, got {other:?}"),
+                };
+            }
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers needs an integer"),
+                );
+            }
             "--smoke" => {
                 smoke = true;
                 opts.p = 8;
@@ -70,10 +89,18 @@ fn main() {
     let app = by_name(&opts, &app_name).unwrap_or_else(|| panic!("unknown application {app_name}"));
     let mut cfg = DssmpConfig::new(opts.p, c).with_observability();
     cfg.trace = trace;
+    if engine == ExecutionEngine::Virtual {
+        cfg = cfg.with_virtual_engine(workers);
+    }
 
     eprintln!(
-        "profiling {app_name} at P = {}, C = {c} (scale 1/{})...",
-        opts.p, opts.scale
+        "profiling {app_name} at P = {}, C = {c} (scale 1/{}, {} engine)...",
+        opts.p,
+        opts.scale,
+        match engine {
+            ExecutionEngine::Threaded => "threaded",
+            ExecutionEngine::Virtual => "virtual",
+        }
     );
     let machine = Machine::new(cfg);
     let report = app.execute(&machine);

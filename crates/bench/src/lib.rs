@@ -31,5 +31,6 @@ pub mod chart;
 pub mod cli;
 pub mod json;
 pub mod parallel;
+pub mod provenance;
 pub mod stopwatch;
 pub mod suite;

@@ -24,6 +24,25 @@ pub enum GovernorImpl {
     MutexHerd,
 }
 
+/// How simulated processors map onto host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionEngine {
+    /// One dedicated OS thread per simulated processor, paced by the
+    /// configured [`GovernorImpl`]. The historical engine and the
+    /// cross-implementation oracle; practical up to `P ≈ 32`.
+    #[default]
+    Threaded,
+    /// M:N virtual processors: each simulated processor is a resumable
+    /// task scheduled onto a bounded host worker budget, always running
+    /// the lowest-simulated-time tasks first. The scheduler *is* the
+    /// governor (`governor_impl` is ignored), governed waits are
+    /// priority-queue reschedules, and the machine can be far larger
+    /// than the host (`P = 2048` completes on a laptop). With a worker
+    /// budget of 1 the entire run is bit-deterministic, including
+    /// workloads the threaded engine cannot reproduce run-to-run.
+    Virtual,
+}
+
 /// Configuration of a DSSMP machine.
 ///
 /// The paper's evaluation fixes the total processor count `P = 32` and
@@ -79,6 +98,21 @@ pub struct DssmpConfig {
     /// bit-identical across all variants — only host-side cost differs
     /// (gated by `tests/governor_equivalence.rs`).
     pub governor_impl: GovernorImpl,
+    /// How simulated processors map onto host threads. Simulated cycle
+    /// counts within the deterministic envelope are bit-identical
+    /// across engines (gated by `tests/engine_equivalence.rs`); only
+    /// host-side scalability differs. Under
+    /// [`ExecutionEngine::Virtual`] the `governor_impl` field is
+    /// ignored and a `governor_window` of `None` falls back to the
+    /// default window — the scheduler needs a skew bound to order its
+    /// run queue.
+    pub engine: ExecutionEngine,
+    /// Host worker budget for [`ExecutionEngine::Virtual`]: how many
+    /// tasks may be admitted concurrently. `None` uses
+    /// [`std::thread::available_parallelism`]; the `MGS_VWORKERS`
+    /// environment variable overrides both. A budget of 1 makes the
+    /// whole run bit-deterministic.
+    pub workers: Option<usize>,
     /// How often each processor thread consults the governor: at most
     /// once per this many simulated cycles. `None` picks the default
     /// (`governor_window / 4`). Larger strides cut governor overhead
@@ -145,6 +179,8 @@ impl DssmpConfig {
             lazy_read_invalidation: false,
             governor_window: Some(Cycles(2_000)),
             governor_impl: GovernorImpl::default(),
+            engine: ExecutionEngine::default(),
+            workers: None,
             governor_stride: None,
             governor_spin: SpinPolicy::default(),
             governor_adaptive: false,
@@ -160,6 +196,30 @@ impl DssmpConfig {
     /// Attaches a seeded [`FaultPlan`] to the external LAN.
     pub fn with_faults(mut self, plan: FaultPlan) -> DssmpConfig {
         self.fault_plan = plan;
+        self
+    }
+
+    /// The virtual engine's recommended pacing window. The virtual
+    /// scheduler grants admission in exact simulated-time order at any
+    /// window size (its ready queue is a time-ordered heap), so the
+    /// window only bounds how far the running tasks may race past the
+    /// descheduled minimum before a handoff — unlike the threaded
+    /// governors, where the window is also the grant-order fuzz. It can
+    /// therefore run a much wider window than the threaded default
+    /// without giving up grant ordering, paying far fewer handoffs.
+    pub const VIRTUAL_WINDOW: Cycles = Cycles(32_000);
+
+    /// Selects the virtual-processor execution engine at its
+    /// recommended operating point: the given worker budget (`None` =
+    /// host parallelism, floored at 2 so a parked handoff always leaves
+    /// a runnable worker) and the wide
+    /// [`VIRTUAL_WINDOW`](Self::VIRTUAL_WINDOW) pacing window. Set
+    /// `governor_window` after this call to pin a custom skew bound
+    /// instead.
+    pub fn with_virtual_engine(mut self, workers: Option<usize>) -> DssmpConfig {
+        self.engine = ExecutionEngine::Virtual;
+        self.workers = workers;
+        self.governor_window = Some(Self::VIRTUAL_WINDOW);
         self
     }
 

@@ -212,11 +212,15 @@ impl Env {
         // Consult the governor at most once per stride of simulated
         // cycles: the configured stride, or a quarter-window by
         // default. The observable skew bound is `window + stride`.
-        let tick_stride = cfg
-            .governor_window
-            .map(|w| {
+        // Derived from the machine's actual governor, not the raw
+        // config: the virtual engine installs a governor (with a
+        // default window) even when `governor_window` is `None`, and
+        // its scheduler relies on ticks to rotate admission.
+        let tick_stride = machine
+            .governor()
+            .map(|g| {
                 cfg.governor_stride
-                    .unwrap_or(Cycles((w.raw() / 4).max(1)))
+                    .unwrap_or(Cycles((g.window().raw() / 4).max(1)))
                     .max(Cycles(1))
             })
             .unwrap_or(Cycles::MAX);
@@ -458,7 +462,7 @@ impl Env {
         self.flush();
         self.clock
             .charge(CostCategory::Lock, self.cost.lock_local_release);
-        lock.release(self.clock.now());
+        lock.release_gov(self.clock.now(), self.gov_hook());
     }
 
     /// Acquires an intra-SSMP hardware lock (no software coherence
@@ -483,7 +487,7 @@ impl Env {
     pub fn release_hw(&mut self, lock: &HwLock) {
         self.clock
             .charge(CostCategory::Lock, self.cost.lock_local_release);
-        lock.release(self.clock.now());
+        lock.release_gov(self.clock.now(), self.gov_hook());
     }
 
     /// Waits at the machine-wide barrier (also a release point, and —

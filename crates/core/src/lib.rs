@@ -52,7 +52,7 @@ mod trace;
 pub mod framework;
 pub mod micro;
 
-pub use config::{DssmpConfig, GovernorImpl};
+pub use config::{DssmpConfig, ExecutionEngine, GovernorImpl};
 pub use env::{Env, SharedArray, Word};
 pub use machine::Machine;
 pub use report::RunReport;

@@ -3,7 +3,7 @@
 use crate::env::{Env, SharedArray, Word};
 use crate::report::RunReport;
 use crate::trace::TraceEvent;
-use crate::{DssmpConfig, GovernorImpl};
+use crate::{DssmpConfig, ExecutionEngine, GovernorImpl};
 use mgs_net::LanModel;
 use mgs_obs::ObsSink;
 use mgs_proto::{MgsProtocol, ProtoConfig, ProtoStats};
@@ -66,17 +66,36 @@ impl Machine {
             cfg.n_ssmps(),
             cfg.cluster_size,
         ));
-        let governor = cfg.governor_window.map(|w| {
-            Arc::new(match cfg.governor_impl {
-                GovernorImpl::Epoch => TimeGovernor::Epoch(
-                    EpochGate::new(cfg.n_procs, w)
-                        .with_spin(cfg.governor_spin)
-                        .with_adaptive(cfg.governor_adaptive),
-                ),
-                GovernorImpl::Mutex => TimeGovernor::new_mutex_oracle(cfg.n_procs, w),
-                GovernorImpl::MutexHerd => TimeGovernor::new_mutex_herd(cfg.n_procs, w),
-            })
-        });
+        let governor = match cfg.engine {
+            ExecutionEngine::Threaded => cfg.governor_window.map(|w| {
+                Arc::new(match cfg.governor_impl {
+                    GovernorImpl::Epoch => TimeGovernor::Epoch(
+                        EpochGate::new(cfg.n_procs, w)
+                            .with_spin(cfg.governor_spin)
+                            .with_adaptive(cfg.governor_adaptive),
+                    ),
+                    GovernorImpl::Mutex => TimeGovernor::new_mutex_oracle(cfg.n_procs, w),
+                    GovernorImpl::MutexHerd => TimeGovernor::new_mutex_herd(cfg.n_procs, w),
+                })
+            }),
+            // The scheduler IS the governor in virtual mode: it needs a
+            // window to order admission, so a disabled governor falls
+            // back to the default width.
+            ExecutionEngine::Virtual => {
+                let w = cfg.governor_window.unwrap_or(DssmpConfig::VIRTUAL_WINDOW);
+                // Default worker budget: host parallelism, floored at 2
+                // so that while one worker parks in a handoff the other
+                // keeps the core busy. Pin `workers` to 1 for a fully
+                // deterministic run.
+                let workers = cfg.workers.unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                        .max(2)
+                });
+                Some(Arc::new(TimeGovernor::new_virtual(cfg.n_procs, w, workers)))
+            }
+        };
         let trace = cfg.trace.then(|| Mutex::new(Vec::new()));
         let obs = cfg.observe.then(|| {
             Arc::new(ObsSink::new(
@@ -293,25 +312,66 @@ impl Machine {
         frame.store(geom.word_offset(va), value.to_word());
     }
 
-    /// Runs `body` on every simulated processor (one OS thread each)
-    /// and collects the run report. The closure receives each
-    /// processor's [`Env`].
+    /// Runs `body` on every simulated processor and collects the run
+    /// report. The closure receives each processor's [`Env`].
+    ///
+    /// Under [`ExecutionEngine::Threaded`] every processor gets a
+    /// dedicated OS thread that runs freely (paced by the governor).
+    /// Under [`ExecutionEngine::Virtual`] each processor is a task
+    /// backed by a small-stacked thread used purely as a resumable
+    /// continuation: tasks check in with the scheduler, park until
+    /// admitted, and at most the worker budget of them executes at any
+    /// instant, lowest simulated time first.
     pub fn run<F>(self: &Arc<Machine>, body: F) -> RunReport
     where
         F: Fn(&mut Env) + Sync,
     {
+        /// Task stacks under the virtual engine: the app body plus
+        /// inline protocol handlers need far less than the 2 MiB thread
+        /// default, and at `P = 2048` the difference is 3.5 GiB of
+        /// address space.
+        const VIRTUAL_TASK_STACK: usize = 512 * 1024;
+
+        /// Wakes every parked task into a panic when the owning task
+        /// unwinds, so a failing run joins instead of hanging.
+        struct PoisonOnPanic(Option<Arc<TimeGovernor>>);
+        impl Drop for PoisonOnPanic {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    if let Some(s) = self.0.as_ref().and_then(|g| g.virtual_scheduler()) {
+                        s.poison();
+                    }
+                }
+            }
+        }
+
         let n = self.cfg.n_procs;
+        let virtual_engine = self.cfg.engine == ExecutionEngine::Virtual;
         let mut results: Vec<Option<crate::report::ProcResult>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for proc in 0..n {
                 let machine = Arc::clone(self);
                 let body = &body;
-                handles.push(scope.spawn(move || {
+                let task = move || {
+                    let _guard =
+                        PoisonOnPanic(virtual_engine.then(|| machine.governor.clone()).flatten());
+                    if let Some(gov) = machine.governor() {
+                        gov.check_in(proc);
+                    }
                     let mut env = Env::new(machine, proc);
                     body(&mut env);
                     env.finish()
-                }));
+                };
+                handles.push(if virtual_engine {
+                    std::thread::Builder::new()
+                        .name(format!("vproc-{proc}"))
+                        .stack_size(VIRTUAL_TASK_STACK)
+                        .spawn_scoped(scope, task)
+                        .expect("failed to spawn virtual-processor task")
+                } else {
+                    scope.spawn(task)
+                });
             }
             for (proc, h) in handles.into_iter().enumerate() {
                 results[proc] = Some(h.join().expect("processor thread panicked"));

@@ -20,11 +20,13 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct ProcGovWaits {
     /// Times the thread reached the gate slow path (its simulated
-    /// clock had passed the current window's end).
+    /// clock had passed the current window's end). Under the virtual
+    /// engine: times the task was descheduled (yields + suspensions).
     pub gates: u64,
     /// Times the thread parked on a condvar while gated (0 under a
-    /// pure spin policy or when every wait resolved within the spin
-    /// budget).
+    /// pure spin policy, when every wait resolved within the spin
+    /// budget — or always, under the virtual engine, which deschedules
+    /// instead of parking).
     pub parks: u64,
     /// Distribution of individual gate waits, in host **nanoseconds**
     /// (log2 buckets; `count` is the number of waits, `sum` the total
@@ -37,6 +39,12 @@ pub struct ProcGovWaits {
 /// `Machine::governor_waits()`.
 #[derive(Debug, Clone)]
 pub struct GovernorWaitReport {
+    /// Which pacing engine produced the numbers (`"epoch"`, `"mutex"`,
+    /// `"mutex-herd"`, or `"virtual"`). The semantics differ: threaded
+    /// engines report condvar parks; the virtual engine counts
+    /// deschedules as gates and reports zero parks by construction,
+    /// with the wait histogram holding descheduled host time.
+    pub engine: &'static str,
     /// One entry per simulated processor.
     pub per_proc: Vec<ProcGovWaits>,
 }
@@ -45,6 +53,7 @@ impl GovernorWaitReport {
     /// Converts the governor's raw snapshot into report shape.
     pub fn from_snapshot(snap: &GovWaitSnapshot) -> GovernorWaitReport {
         GovernorWaitReport {
+            engine: snap.engine,
             per_proc: snap
                 .per_proc
                 .iter()
@@ -84,7 +93,10 @@ impl GovernorWaitReport {
 
     /// Hand-rolled JSON (the workspace builds without serde).
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n    \"per_proc\": [");
+        let mut s = format!(
+            "{{\n    \"engine\": \"{}\",\n    \"per_proc\": [",
+            self.engine
+        );
         for (i, p) in self.per_proc.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -113,6 +125,7 @@ impl GovernorWaitReport {
 
 impl fmt::Display for GovernorWaitReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "governor waits ({} engine)", self.engine)?;
         writeln!(
             f,
             "{:>5}  {:>10}  {:>10}  {:>12}  {:>12}  {:>12}",
@@ -163,9 +176,11 @@ mod tests {
     #[test]
     fn report_totals_and_hist_roundtrip() {
         let snap = GovWaitSnapshot {
+            engine: "epoch",
             per_proc: vec![stats(10, 3, &[100, 2_000]), stats(4, 0, &[8])],
         };
         let report = GovernorWaitReport::from_snapshot(&snap);
+        assert_eq!(report.engine, "epoch");
         assert_eq!(report.total_gates(), 14);
         assert_eq!(report.total_parks(), 3);
         assert_eq!(report.total_wait_ns(), 2_108);

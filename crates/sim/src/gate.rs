@@ -193,6 +193,12 @@ pub struct GovWaitStats {
 /// Per-thread governor wait accounting for a whole run.
 #[derive(Debug, Clone)]
 pub struct GovWaitSnapshot {
+    /// Which pacing engine produced this snapshot (`"epoch"`,
+    /// `"mutex"`, `"mutex-herd"`, or `"virtual"`). The numbers mean
+    /// different things per engine — threaded governors report condvar
+    /// parks, the virtual scheduler reports descheduling with zero
+    /// parks by construction — so consumers must label their output.
+    pub engine: &'static str,
     /// One entry per simulated processor thread.
     pub per_proc: Vec<GovWaitStats>,
 }
@@ -396,6 +402,7 @@ impl EpochGate {
     /// Captures per-thread wait accounting (host-side only).
     pub fn wait_snapshot(&self) -> GovWaitSnapshot {
         GovWaitSnapshot {
+            engine: "epoch",
             per_proc: self.slots.iter().map(|s| s.stat.snapshot()).collect(),
         }
     }

@@ -1,21 +1,28 @@
 //! Windowed time governor bounding simulated-clock skew.
 //!
-//! [`TimeGovernor`] is the front door: an enum over the two
+//! [`TimeGovernor`] is the front door: an enum over the
 //! interchangeable implementations.
 //!
 //! * [`EpochGate`](crate::EpochGate) — the sharded, lock-free default
-//!   (see `gate.rs` for the design).
+//!   for the threaded engine (see `gate.rs` for the design).
 //! * [`MutexGovernor`] — the original mutex + condvar implementation,
 //!   retained as the correctness oracle for cross-implementation
 //!   equivalence tests and as the "before" baseline for the `govscale`
 //!   host-scalability bench (including its historical `notify_all`
 //!   thundering-herd wake-up mode).
+//! * [`VirtualScheduler`](crate::VirtualScheduler) — the M:N
+//!   virtual-processor scheduler, where pacing is a side effect of
+//!   admission: the scheduler always runs the lowest-simulated-time
+//!   tasks, so a governed wait is a priority-queue reschedule rather
+//!   than a park/unpark round-trip (see `vsched.rs`).
 //!
-//! Both bound skew identically and neither ever charges simulated
-//! cycles, so simulated results are bit-identical across
-//! implementations; `tests/governor_equivalence.rs` enforces this.
+//! All bound skew identically and none ever charges simulated cycles,
+//! so simulated results are bit-identical across implementations;
+//! `tests/governor_equivalence.rs` and `tests/engine_equivalence.rs`
+//! enforce this.
 
 use crate::gate::{EpochGate, GovWaitSnapshot, WaitStat};
+use crate::vsched::VirtualScheduler;
 use crate::Cycles;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,10 +61,13 @@ use std::time::Instant;
 /// ```
 #[derive(Debug)]
 pub enum TimeGovernor {
-    /// The sharded, lock-free epoch gate (the default).
+    /// The sharded, lock-free epoch gate (the threaded default).
     Epoch(EpochGate),
     /// The retained mutex-based oracle.
     Oracle(MutexGovernor),
+    /// The M:N virtual-processor scheduler: pacing by admission order
+    /// instead of parking, for machines far larger than the host.
+    Virtual(VirtualScheduler),
 }
 
 impl TimeGovernor {
@@ -85,11 +95,40 @@ impl TimeGovernor {
         TimeGovernor::Oracle(MutexGovernor::new(n, window).with_herd_wakeups())
     }
 
+    /// Creates the virtual-processor scheduler governor: `n` tasks
+    /// scheduled onto at most `workers` concurrently-admitted host
+    /// threads, lowest simulated time first (`MGS_VWORKERS` overrides
+    /// `workers`). Threads driven by this governor **must** check in
+    /// via [`check_in`](Self::check_in) before their first tick.
+    pub fn new_virtual(n: usize, window: Cycles, workers: usize) -> TimeGovernor {
+        TimeGovernor::Virtual(VirtualScheduler::new(n, window, workers))
+    }
+
     /// The configured window size.
     pub fn window(&self) -> Cycles {
         match self {
             TimeGovernor::Epoch(g) => g.window(),
             TimeGovernor::Oracle(g) => g.window(),
+            TimeGovernor::Virtual(g) => g.window(),
+        }
+    }
+
+    /// The virtual scheduler behind this governor, if that is the
+    /// engine in use.
+    pub fn virtual_scheduler(&self) -> Option<&VirtualScheduler> {
+        match self {
+            TimeGovernor::Virtual(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Thread `id` announces itself ready to run. A no-op for the
+    /// threaded governors; under the virtual scheduler this parks the
+    /// thread until it is admitted (and no task is admitted until all
+    /// have checked in, making admission order spawn-invariant).
+    pub fn check_in(&self, id: usize) {
+        if let TimeGovernor::Virtual(g) = self {
+            g.start(id);
         }
     }
 
@@ -101,6 +140,7 @@ impl TimeGovernor {
         match self {
             TimeGovernor::Epoch(g) => g.tick(id, local_time),
             TimeGovernor::Oracle(g) => g.tick(id, local_time),
+            TimeGovernor::Virtual(g) => g.tick(id, local_time),
         }
     }
 
@@ -110,6 +150,7 @@ impl TimeGovernor {
         match self {
             TimeGovernor::Epoch(g) => g.blocked(id),
             TimeGovernor::Oracle(g) => g.blocked(id),
+            TimeGovernor::Virtual(g) => g.blocked(id),
         }
     }
 
@@ -118,6 +159,7 @@ impl TimeGovernor {
         match self {
             TimeGovernor::Epoch(g) => g.unblocked(id),
             TimeGovernor::Oracle(g) => g.unblocked(id),
+            TimeGovernor::Virtual(g) => g.unblocked(id),
         }
     }
 
@@ -126,6 +168,7 @@ impl TimeGovernor {
         match self {
             TimeGovernor::Epoch(g) => g.finished(id),
             TimeGovernor::Oracle(g) => g.finished(id),
+            TimeGovernor::Virtual(g) => g.finished(id),
         }
     }
 
@@ -135,6 +178,7 @@ impl TimeGovernor {
         match self {
             TimeGovernor::Epoch(g) => g.wait_snapshot(),
             TimeGovernor::Oracle(g) => g.wait_snapshot(),
+            TimeGovernor::Virtual(g) => g.wait_snapshot(),
         }
     }
 }
@@ -154,6 +198,11 @@ impl<'a> GovHook<'a> {
         GovHook { gov, id }
     }
 
+    /// The processor-thread id this hook speaks for.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
     /// Marks the thread blocked on real synchronization; the returned
     /// guard marks it runnable again when dropped. Scoping the guard to
     /// exactly the host-side wait keeps the governor's view of
@@ -163,6 +212,52 @@ impl<'a> GovHook<'a> {
         BlockedSection {
             gov: self.gov,
             id: self.id,
+        }
+    }
+
+    /// Whether this hook speaks for the virtual-processor scheduler,
+    /// i.e. whether sync primitives should wait by
+    /// [`deschedule`](Self::deschedule)/[`wake`](Self::wake) instead of
+    /// by condvar.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.gov, TimeGovernor::Virtual(_))
+    }
+
+    /// Virtual-engine wait: deschedules the calling task until a peer
+    /// [`wake`](Self::wake)s it, and returns `true`. Returns `false`
+    /// without waiting under the threaded governors — the caller must
+    /// then fall back to its condvar wait. **Never call while holding
+    /// a mutex the waking peer needs**: the primitive registers the
+    /// waiter, drops its lock, then deschedules (a wake that races
+    /// ahead is consumed, not lost).
+    pub fn deschedule(&self) -> bool {
+        match self.gov {
+            TimeGovernor::Virtual(g) => {
+                g.suspend(self.id);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Virtual-engine wake of peer task `target` (typically: a lock
+    /// releaser rescheduling the waiter it granted to, or the final
+    /// barrier arriver rescheduling the field). A no-op under the
+    /// threaded governors, so releasers can call it unconditionally
+    /// alongside their condvar notify.
+    pub fn wake(&self, target: usize) {
+        if let TimeGovernor::Virtual(g) = self.gov {
+            g.resume(target);
+        }
+    }
+
+    /// Batched [`wake`](Self::wake) for group releases (a barrier's
+    /// final arriver, a hardware-lock herd): one scheduler pass for the
+    /// whole waiter set instead of one per task. A no-op under the
+    /// threaded governors.
+    pub fn wake_many(&self, targets: &[usize]) {
+        if let TimeGovernor::Virtual(g) = self.gov {
+            g.resume_many(targets);
         }
     }
 }
@@ -311,6 +406,7 @@ impl MutexGovernor {
     /// Captures per-thread wait accounting (host-side only).
     pub fn wait_snapshot(&self) -> GovWaitSnapshot {
         GovWaitSnapshot {
+            engine: if self.herd { "mutex-herd" } else { "mutex" },
             per_proc: self.stats.iter().map(|s| s.snapshot()).collect(),
         }
     }

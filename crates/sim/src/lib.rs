@@ -20,6 +20,11 @@
 //!   gate with targeted wake-ups and adaptive spin-then-park waiting
 //!   (the original mutex-based [`MutexGovernor`] is retained as the
 //!   equivalence oracle).
+//! * [`VirtualScheduler`] — the M:N virtual-processor scheduler backing
+//!   the virtual execution engine: simulated processors become
+//!   resumable tasks admitted lowest-simulated-time-first onto a
+//!   bounded host worker budget, so the machine can be far larger than
+//!   the host.
 //! * [`XorShift64`] — a small deterministic RNG used by workloads.
 //!
 //! # Example
@@ -46,6 +51,7 @@ mod resource;
 mod rng;
 mod stats;
 mod time;
+mod vsched;
 
 pub use account::{CostCategory, CycleAccount};
 pub use clock::ProcClock;
@@ -56,3 +62,4 @@ pub use resource::Occupancy;
 pub use rng::XorShift64;
 pub use stats::{Counter, RunningStats};
 pub use time::Cycles;
+pub use vsched::{VirtualScheduler, VWORKERS_ENV};

@@ -9,6 +9,10 @@ struct BarInner {
     arrived: usize,
     latest: Cycles,
     release_time: Cycles,
+    /// Virtual-scheduler task ids of the descheduled arrivers of the
+    /// current episode; the final arriver reschedules them through the
+    /// time-ordered ready queue instead of a condvar broadcast.
+    vwaiters: Vec<usize>,
 }
 
 /// A tree barrier structured to match the DSSMP hierarchy (§3.2).
@@ -67,6 +71,7 @@ impl MgsBarrier {
                 arrived: 0,
                 latest: Cycles::ZERO,
                 release_time: Cycles::ZERO,
+                vwaiters: Vec::new(),
             }),
             cond: Condvar::new(),
             n_procs: n_ssmps * procs_per_ssmp,
@@ -125,12 +130,30 @@ impl MgsBarrier {
             inner.latest = Cycles::ZERO;
             inner.epoch += 1;
             self.cond.notify_all();
-            inner.release_time
+            let release_time = inner.release_time;
+            let waiters = std::mem::take(&mut inner.vwaiters);
+            drop(inner);
+            // Virtual engine: reschedule every descheduled arriver
+            // through the ready queue — they resume in simulated-time
+            // order as admission slots free up, not as a herd.
+            if let Some(g) = gov {
+                g.wake_many(&waiters);
+            }
+            release_time
         } else {
             let epoch = inner.epoch;
-            let _blocked = gov.map(GovHook::enter_blocked);
-            while inner.epoch == epoch {
-                self.cond.wait(&mut inner);
+            if let Some(g) = gov.filter(GovHook::is_virtual) {
+                inner.vwaiters.push(g.id());
+                while inner.epoch == epoch {
+                    drop(inner);
+                    g.deschedule();
+                    inner = self.inner.lock();
+                }
+            } else {
+                let _blocked = gov.map(GovHook::enter_blocked);
+                while inner.epoch == epoch {
+                    self.cond.wait(&mut inner);
+                }
             }
             inner.release_time
         }

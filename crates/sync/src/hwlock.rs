@@ -36,6 +36,10 @@ pub struct HwLock {
 struct HwInner {
     held: bool,
     free_at: Cycles,
+    /// Virtual-scheduler task ids descheduled on this lock; the
+    /// releaser reschedules them all and the lowest-simulated-time one
+    /// wins the re-acquire (the rest re-deschedule).
+    vwaiters: Vec<usize>,
 }
 
 impl HwLock {
@@ -45,6 +49,7 @@ impl HwLock {
             inner: Mutex::new(HwInner {
                 held: false,
                 free_at: Cycles::ZERO,
+                vwaiters: Vec::new(),
             }),
             cond: Condvar::new(),
             acquire_cost: cost.lock_local_acquire,
@@ -65,9 +70,23 @@ impl HwLock {
     pub fn acquire_gov(&self, now: Cycles, gov: Option<GovHook<'_>>) -> Cycles {
         let mut inner = self.inner.lock();
         if inner.held {
-            let _blocked = gov.map(GovHook::enter_blocked);
-            while inner.held {
-                self.cond.wait(&mut inner);
+            if let Some(g) = gov.filter(GovHook::is_virtual) {
+                // Virtual engine: deschedule with the primitive mutex
+                // dropped; re-register before each wait in case the
+                // releaser drained us but another task won the lock.
+                while inner.held {
+                    if !inner.vwaiters.contains(&g.id()) {
+                        inner.vwaiters.push(g.id());
+                    }
+                    drop(inner);
+                    g.deschedule();
+                    inner = self.inner.lock();
+                }
+            } else {
+                let _blocked = gov.map(GovHook::enter_blocked);
+                while inner.held {
+                    self.cond.wait(&mut inner);
+                }
             }
         }
         inner.held = true;
@@ -80,11 +99,27 @@ impl HwLock {
     ///
     /// Panics if the lock is not held.
     pub fn release(&self, now: Cycles) {
+        self.release_gov(now, None);
+    }
+
+    /// [`release`](Self::release) with governor integration: under the
+    /// virtual engine every descheduled waiter is rescheduled (the
+    /// lowest simulated time re-acquires first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn release_gov(&self, now: Cycles, gov: Option<GovHook<'_>>) {
         let mut inner = self.inner.lock();
         assert!(inner.held, "release of an unheld hardware lock");
         inner.held = false;
         inner.free_at = now.max(inner.free_at) + self.release_cost;
         self.cond.notify_one();
+        let waiters = std::mem::take(&mut inner.vwaiters);
+        drop(inner);
+        if let Some(g) = gov {
+            g.wake_many(&waiters);
+        }
     }
 }
 

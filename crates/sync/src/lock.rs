@@ -31,6 +31,10 @@ struct Waiter {
     id: u64,
     ssmp: usize,
     req_time: Cycles,
+    /// The waiter's virtual-scheduler task id, when the virtual engine
+    /// paces the run: the releaser reschedules exactly this task
+    /// instead of broadcasting on the condvar.
+    task: Option<usize>,
     grant: Option<(Cycles, bool)>,
 }
 
@@ -153,8 +157,9 @@ impl MgsLock {
     /// [`acquire`](Self::acquire) with governor integration: when a
     /// [`GovHook`] is supplied, the calling thread is marked blocked
     /// for exactly the host-side wait (a contended acquire), so the
-    /// governor window can advance without it. Uncontended acquires
-    /// never report a block.
+    /// governor window can advance without it — or, under the virtual
+    /// engine, the calling *task* is descheduled until the releaser
+    /// reschedules it. Uncontended acquires never report a block.
     pub fn acquire_gov(
         &self,
         ssmp: usize,
@@ -172,31 +177,54 @@ impl MgsLock {
             return (t, hit);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let task = gov.filter(GovHook::is_virtual).map(|g| g.id());
         inner.waiters.push(Waiter {
             id,
             ssmp,
             req_time: now,
+            task,
             grant: None,
         });
+        if let Some(g) = gov.filter(GovHook::is_virtual) {
+            // Virtual engine: wait by descheduling. The waiter record
+            // is visible before the primitive mutex is dropped, so the
+            // releaser's wake can never be lost (a wake racing ahead of
+            // the deschedule is consumed, not dropped), and the mutex
+            // is never held across a deschedule.
+            loop {
+                if let Some(res) = self.try_take_grant(&mut inner, id) {
+                    return res;
+                }
+                drop(inner);
+                g.deschedule();
+                inner = self.inner.lock();
+            }
+        }
         // Holding `inner` here, so the releaser cannot have granted us
         // the lock before we mark ourselves blocked. Governor calls
         // never take sync-primitive mutexes, so the nesting is safe.
         let _blocked = gov.map(GovHook::enter_blocked);
         loop {
-            if let Some(pos) = inner
-                .waiters
-                .iter()
-                .position(|w| w.id == id && w.grant.is_some())
-            {
-                let w = inner.waiters.swap_remove(pos);
-                let (t, hit) = w.grant.expect("checked above");
-                if hit {
-                    self.stats.hits.incr();
-                }
-                return (t, hit);
+            if let Some(res) = self.try_take_grant(&mut inner, id) {
+                return res;
             }
             self.cond.wait(&mut inner);
         }
+    }
+
+    /// Removes and returns waiter `id`'s grant, if the releaser has
+    /// issued it.
+    fn try_take_grant(&self, inner: &mut LockInner, id: u64) -> Option<(Cycles, bool)> {
+        let pos = inner
+            .waiters
+            .iter()
+            .position(|w| w.id == id && w.grant.is_some())?;
+        let w = inner.waiters.swap_remove(pos);
+        let (t, hit) = w.grant.expect("checked above");
+        if hit {
+            self.stats.hits.incr();
+        }
+        Some((t, hit))
     }
 
     /// Releases the lock at simulated time `now` (after the caller has
@@ -208,6 +236,18 @@ impl MgsLock {
     ///
     /// Panics if the lock is not held.
     pub fn release(&self, now: Cycles) {
+        self.release_gov(now, None);
+    }
+
+    /// [`release`](Self::release) with governor integration: under the
+    /// virtual engine the granted waiter's task is rescheduled through
+    /// the time-ordered ready queue (a no-op for the threaded
+    /// governors, which rely on the condvar broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn release_gov(&self, now: Cycles, gov: Option<GovHook<'_>>) {
         let mut inner = self.inner.lock();
         assert!(inner.held, "release of an unheld lock");
         inner.free_at = now.max(inner.free_at) + self.cost.lock_local_release;
@@ -215,13 +255,17 @@ impl MgsLock {
             inner.held = false;
             return;
         };
-        let (ssmp, req_time) = {
+        let (ssmp, req_time, task) = {
             let w = &inner.waiters[next];
-            (w.ssmp, w.req_time)
+            (w.ssmp, w.req_time, w.task)
         };
         let grant = self.grant(&mut inner, ssmp, req_time);
         inner.waiters[next].grant = Some(grant);
         self.cond.notify_all();
+        drop(inner);
+        if let (Some(g), Some(task)) = (gov, task) {
+            g.wake(task);
+        }
     }
 
     /// Chooses the next waiter: the earliest simulated requester, unless

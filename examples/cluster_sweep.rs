@@ -3,24 +3,73 @@
 //! breakup penalty, multigrain potential, multigrain curvature.
 //!
 //! ```text
-//! cargo run --release --example cluster_sweep
+//! cargo run --release --example cluster_sweep            # P = 16, quick
+//! cargo run --release --example cluster_sweep -- --large # P = 512
+//! ```
+//!
+//! Both sweeps run under the virtual execution engine
+//! ([`DssmpConfig::with_virtual_engine`]): each simulated processor is
+//! a resumable task on a bounded host worker pool, so the machine size
+//! is decoupled from the host's thread capacity. The `--large` sweep
+//! is a machine 16× bigger than the paper's — 512 dedicated OS
+//! threads under the threaded engine, a handful of workers here.
+//! Measured output on a 1-core container (about one second of wall
+//! time; C is bounded to 8 ≤ C ≤ 64 at P = 512 by the protocol's
+//! 64-bit directory masks):
+//!
+//! ```text
+//! Sweeping Water over cluster sizes (P = 512, virtual engine)...
+//!
+//!    C        Mcycles  lock hits
+//!    8          55.30      51.2%
+//!   16          48.41      59.5%
+//!   32          41.35      80.8%
+//!   64          29.41      99.8%
 //! ```
 
-use mgs_repro::apps::{sweep_app, water::Water};
+use mgs_repro::apps::{sweep_app, water::Water, MgsApp};
 use mgs_repro::core::framework;
-use mgs_repro::core::DssmpConfig;
+use mgs_repro::core::{DssmpConfig, Machine};
 
 fn main() {
-    // A small Water problem on a 16-processor machine keeps this
-    // example quick; the full evaluation lives in the mgs-bench
-    // binaries (`figures`, `summary`).
+    let large = std::env::args().any(|a| a == "--large");
+
+    // A small Water problem keeps this example quick; the full
+    // evaluation lives in the mgs-bench binaries (`figures`,
+    // `summary`), and the engine comparison in `vpscale`.
     let app = Water {
         n: 64,
         ..Water::paper()
     };
-    let base = DssmpConfig::new(16, 1);
 
-    println!("Sweeping Water over cluster sizes (P = 16)...\n");
+    if large {
+        // P = 512: only reachable because processors are virtual. The
+        // framework metrics need the C = 1 and C = P endpoints, which
+        // the directory masks exclude at this size, so this sweep
+        // prints the raw curve only.
+        let p = 512;
+        println!("Sweeping Water over cluster sizes (P = {p}, virtual engine)...\n");
+        println!("{:>4} {:>14} {:>10}", "C", "Mcycles", "lock hits");
+        let mut c = 8;
+        while c <= 64 {
+            let mut cfg = DssmpConfig::new(p, c).with_virtual_engine(None);
+            cfg.cluster_size = c;
+            let machine = Machine::new(cfg);
+            let report = app.execute(&machine);
+            println!(
+                "{:>4} {:>14.2} {:>9.1}%",
+                c,
+                report.duration.as_mcycles(),
+                100.0 * machine.lock_hit_ratio()
+            );
+            c *= 2;
+        }
+        return;
+    }
+
+    let base = DssmpConfig::new(16, 1).with_virtual_engine(None);
+
+    println!("Sweeping Water over cluster sizes (P = 16, virtual engine)...\n");
     let points = sweep_app(&base, &app);
 
     println!("{:>4} {:>14} {:>10}", "C", "Mcycles", "lock hits");

@@ -1,0 +1,314 @@
+//! Cross-engine equivalence: the threaded engine (one OS thread per
+//! simulated processor, epoch-gate governor) and the virtual engine
+//! (M:N tasks on a bounded worker budget, scheduler-as-governor) must
+//! produce bit-identical simulated results, because neither pacing
+//! mechanism ever charges simulated cycles.
+//!
+//! Layers of evidence, strongest first:
+//!
+//! * Full-report bit-equivalence on workloads inside the simulator's
+//!   deterministic envelope (page-disjoint, barrier-phased; and the
+//!   one-active-writer token ring on a seeded lossy fabric, where every
+//!   cross-SSMP transaction — including injected drops and the retries
+//!   they force — is serialized by construction). `P = 32`,
+//!   `C ∈ {1, 4, 32}`, both fabrics.
+//! * Worker-count invariance: the virtual engine's report does not
+//!   depend on how many host workers execute the tasks.
+//! * Single-worker bit-reproducibility: with a worker budget of 1 the
+//!   virtual engine serializes every interaction in deterministic heap
+//!   order, so even *schedule-sensitive* whole applications (TSP's
+//!   bound-pruned search, contended locks) reproduce bit-identically
+//!   run to run — a guarantee the threaded engine cannot make at any
+//!   thread count (see `tests/determinism.rs` for why).
+//! * The full six-application suite compared across engines on the
+//!   components that are invariant by construction (fixed lock-acquire
+//!   counts, the zero-LAN invariant at `C = P`), exactly as
+//!   `tests/governor_equivalence.rs` compares governor implementations.
+
+use mgs_repro::apps::{
+    barnes::BarnesHut, jacobi::Jacobi, matmul::MatMul, tsp::Tsp, water::Water,
+    water_kernel::WaterKernel, MgsApp,
+};
+use mgs_repro::core::{
+    AccessKind, CostCategory, Cycles, DssmpConfig, ExecutionEngine, FaultPlan, Machine, RunReport,
+};
+
+const PROCS: usize = 32;
+const WORDS_PER_PROC: u64 = 256;
+const PHASES: u64 = 2;
+const LOSSY_SEED: u64 = 0x4D47_5345_4E47_5631;
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.duration.raw(), b.duration.raw(), "{what}: duration");
+    for cat in CostCategory::ALL {
+        assert_eq!(
+            a.breakdown.get(cat).raw(),
+            b.breakdown.get(cat).raw(),
+            "{what}: breakdown {}",
+            cat.label()
+        );
+    }
+    assert_eq!(a.per_proc.len(), b.per_proc.len(), "{what}: proc count");
+    for (p, (x, y)) in a.per_proc.iter().zip(&b.per_proc).enumerate() {
+        for cat in CostCategory::ALL {
+            assert_eq!(
+                x.get(cat).raw(),
+                y.get(cat).raw(),
+                "{what}: proc {p} {}",
+                cat.label()
+            );
+        }
+    }
+    assert_eq!(a.lock_acquires, b.lock_acquires, "{what}: lock acquires");
+    assert_eq!(a.lan_messages, b.lan_messages, "{what}: LAN messages");
+    assert_eq!(a.lan_bytes, b.lan_bytes, "{what}: LAN bytes");
+}
+
+/// Engine-parameterized config: threaded keeps the default epoch gate;
+/// virtual takes an explicit worker budget (`None` = host parallelism).
+fn config(c: usize, engine: ExecutionEngine, workers: Option<usize>) -> DssmpConfig {
+    let mut cfg = DssmpConfig::new(PROCS, c);
+    cfg.engine = engine;
+    cfg.workers = workers;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Deterministic-envelope workload (the governor-equivalence program):
+// page-disjoint writes and reads, barrier-phased.
+// ---------------------------------------------------------------------
+
+fn run_disjoint(cfg: DssmpConfig) -> RunReport {
+    let machine = Machine::new(cfg);
+    let arr =
+        machine.alloc_array_blocked::<u64>(WORDS_PER_PROC * PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid() as u64;
+        let base = pid * WORDS_PER_PROC;
+        env.start_measurement();
+        for phase in 0..PHASES {
+            for i in 0..WORDS_PER_PROC {
+                arr.write(env, base + i, pid * 1_000_000 + phase * 1_000 + i);
+            }
+            env.barrier();
+            let mut acc = 0u64;
+            for i in 0..WORDS_PER_PROC {
+                acc = acc.wrapping_add(arr.read(env, base + i));
+            }
+            std::hint::black_box(acc);
+            env.barrier();
+        }
+    })
+}
+
+#[test]
+fn virtual_engine_is_bit_identical_to_threaded_on_deterministic_workload() {
+    for c in [1usize, 4, 32] {
+        let threaded = run_disjoint(config(c, ExecutionEngine::Threaded, None));
+        let virt = run_disjoint(config(c, ExecutionEngine::Virtual, None));
+        assert_identical(&threaded, &virt, &format!("C={c} threaded vs virtual"));
+        // And with the scheduler forced down to one admission slot.
+        let serial = run_disjoint(config(c, ExecutionEngine::Virtual, Some(1)));
+        assert_identical(
+            &threaded,
+            &serial,
+            &format!("C={c} threaded vs virtual W=1"),
+        );
+    }
+}
+
+#[test]
+fn virtual_reports_are_invariant_across_worker_counts() {
+    for c in [1usize, 4] {
+        let w1 = run_disjoint(config(c, ExecutionEngine::Virtual, Some(1)));
+        for workers in [2usize, 8] {
+            let wn = run_disjoint(config(c, ExecutionEngine::Virtual, Some(workers)));
+            assert_identical(&w1, &wn, &format!("C={c} W=1 vs W={workers}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded lossy fabric: the one-active-writer token ring (from
+// `tests/chaos.rs`), where injected drops and the retries they force
+// are serialized and therefore engine-invariant.
+// ---------------------------------------------------------------------
+
+const RING_WORDS: u64 = 64;
+
+fn run_ring(cfg: DssmpConfig) -> RunReport {
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_blocked::<u64>(RING_WORDS * PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..PROCS {
+            if pid == phase {
+                let base = ((pid + 1) % PROCS) as u64 * RING_WORDS;
+                for i in 0..RING_WORDS {
+                    arr.write(env, base + i, ((phase as u64) << 32) | i);
+                }
+                let mut acc = 0u64;
+                for i in 0..RING_WORDS {
+                    acc = acc.wrapping_add(arr.read(env, base + i));
+                }
+                std::hint::black_box(acc);
+            }
+            env.barrier();
+        }
+    })
+}
+
+#[test]
+fn engines_agree_on_perfect_and_seeded_lossy_fabrics() {
+    for c in [1usize, 4, 32] {
+        for (fabric, plan) in [
+            ("perfect", FaultPlan::none()),
+            (
+                "lossy",
+                FaultPlan::uniform(LOSSY_SEED, 0.05, 0.05, Cycles(200)),
+            ),
+        ] {
+            let threaded =
+                run_ring(config(c, ExecutionEngine::Threaded, None).with_faults(plan.clone()));
+            let virt = run_ring(config(c, ExecutionEngine::Virtual, None).with_faults(plan));
+            assert_identical(&threaded, &virt, &format!("C={c} {fabric} ring"));
+            if c < PROCS && fabric == "perfect" {
+                assert!(
+                    threaded.lan_messages > 0,
+                    "C={c}: ring produced no LAN traffic — fabric comparison is vacuous"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-worker bit-reproducibility on schedule-sensitive applications.
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_worker_virtual_runs_reproduce_schedule_sensitive_apps() {
+    // TSP (bound-pruned work queue) and Water (contended locks) are the
+    // workloads `tests/determinism.rs` shows are NOT reproducible under
+    // the threaded engine. With one admission slot every interaction is
+    // serialized in deterministic heap order, so two fresh runs must be
+    // bit-identical — full reports, per-processor.
+    let apps: Vec<(&str, Box<dyn MgsApp>)> = vec![
+        (
+            "tsp",
+            Box::new(Tsp {
+                n: 6,
+                ..Tsp::small()
+            }),
+        ),
+        (
+            "water",
+            Box::new(Water {
+                n: 16,
+                iters: 1,
+                ..Water::small()
+            }),
+        ),
+    ];
+    for (name, app) in apps {
+        for c in [4usize, 32] {
+            let run = |_: usize| {
+                let cfg = config(c, ExecutionEngine::Virtual, Some(1));
+                app.execute(&Machine::new(cfg))
+            };
+            let first = run(0);
+            let second = run(1);
+            assert_identical(&first, &second, &format!("{name} C={c} W=1 rerun"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full application suite: construction-invariant components.
+// ---------------------------------------------------------------------
+
+fn suite() -> Vec<(&'static str, Box<dyn MgsApp>)> {
+    vec![
+        (
+            "jacobi",
+            Box::new(Jacobi {
+                n: 32,
+                iters: 2,
+                ..Jacobi::small()
+            }),
+        ),
+        (
+            "matmul",
+            Box::new(MatMul {
+                n: 16,
+                ..MatMul::small()
+            }),
+        ),
+        (
+            "tsp",
+            Box::new(Tsp {
+                n: 6,
+                ..Tsp::small()
+            }),
+        ),
+        (
+            "water",
+            Box::new(Water {
+                n: 16,
+                iters: 1,
+                ..Water::small()
+            }),
+        ),
+        (
+            "barnes",
+            Box::new(BarnesHut {
+                n: 32,
+                iters: 1,
+                ..BarnesHut::small()
+            }),
+        ),
+        (
+            "water-kernel",
+            Box::new(WaterKernel {
+                n: 16,
+                iters: 1,
+                ..WaterKernel::small(false)
+            }),
+        ),
+    ]
+}
+
+/// Applications whose lock acquire count is fixed by the algorithm (see
+/// `tests/governor_equivalence.rs` for why TSP and Barnes-Hut are
+/// excluded).
+const FIXED_LOCK_COUNT: &[&str] = &["jacobi", "matmul", "water", "water-kernel"];
+
+#[test]
+fn virtual_engine_matches_threaded_on_the_suite() {
+    let mut compared = 0usize;
+    for (name, app) in suite() {
+        for c in [1usize, 4, 32] {
+            let threaded = app.execute(&Machine::new(config(c, ExecutionEngine::Threaded, None)));
+            let virt = app.execute(&Machine::new(config(c, ExecutionEngine::Virtual, None)));
+            assert!(virt.duration.raw() > 0, "{name} C={c}: empty virtual run");
+            if FIXED_LOCK_COUNT.contains(&name) {
+                assert_eq!(
+                    threaded.lock_acquires, virt.lock_acquires,
+                    "{name} C={c}: lock acquire count (threaded vs virtual)"
+                );
+                compared += 1;
+            }
+            if c == PROCS {
+                assert_eq!(threaded.lan_messages, 0, "{name} C={c}: threaded LAN msgs");
+                assert_eq!(virt.lan_messages, 0, "{name} C={c}: virtual LAN msgs");
+                assert_eq!(virt.lan_bytes, 0, "{name} C={c}: virtual LAN bytes");
+                compared += 2;
+            }
+        }
+    }
+    assert!(
+        compared >= 20,
+        "only {compared} invariant components compared across the suite"
+    );
+}
