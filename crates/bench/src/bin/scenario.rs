@@ -1,0 +1,403 @@
+//! `scenario` — the scenario engine: latency tiers, interface
+//! contention, and SSMP churn. Four sections, all written to
+//! `BENCH_scenario.json`:
+//!
+//! * **equivalence** — the deterministic token-ring workload run under
+//!   an explicit [`FixedScenario`] and a uniform-LAN
+//!   [`TieredScenario`], *asserted* bit-identical in cycle accounting
+//!   to the legacy default-constructed machine (the scenario engine
+//!   must be timing-invisible at the paper's fixed 1000-cycle LAN);
+//! * **tiers** — per application, a full cluster-size sweep at each
+//!   link tier (rack / LAN / datacenter / WAN latencies), reporting the
+//!   §2.4 framework metrics: how the breakup penalty grows as the
+//!   inter-SSMP network slows from a rack fabric to a WAN;
+//! * **contention** — the ring under per-endpoint interface
+//!   serialization: a finite-bandwidth LAN interface must dilate
+//!   execution over the infinite-bandwidth model and never change
+//!   message counts;
+//! * **churn** — a producer/consumer grid with an SSMP departing and
+//!   rejoining mid-run: the run must converge to the fault-free memory
+//!   image (verified word-for-word), with the re-homed page count,
+//!   retry traffic, and slowdown versus the churn-free run recorded.
+//!
+//! Run with `cargo run --release -p mgs-bench --bin scenario -- --quick`.
+//! `--smoke` shrinks the matrix to a CI-sized gate (2 tiers, 1 app).
+//! Accepts the usual `--p`, `--scale`, `--reps` and `--jobs` flags.
+
+use mgs_apps::MgsApp;
+use mgs_bench::cli::Options;
+use mgs_bench::json::JsonObject;
+use mgs_bench::parallel::{run_weighted, WorkerBudget};
+use mgs_bench::suite;
+use mgs_core::framework::{metrics, SweepPoint};
+use mgs_core::{
+    AccessKind, ChurnEvent, CostCategory, DssmpConfig, FixedScenario, LinkTier, Machine, RunReport,
+    Scenario, TieredScenario,
+};
+use mgs_sim::Cycles;
+use std::sync::Arc;
+
+/// Processors in the deterministic equivalence/contention ring.
+const RING_PROCS: usize = 8;
+/// Words per processor block.
+const RING_WORDS: u64 = 512;
+/// Interface service time per message in the contention section.
+const IFACE_SERVICE: Cycles = Cycles(500);
+
+/// Churn grid shape and schedule (mirrors `tests/churn.rs`).
+const GRID_WORDS: u64 = 64;
+const GRID_ROUNDS: u64 = 24;
+const DEPART: Cycles = Cycles(60_000);
+const REJOIN: Cycles = Cycles(260_000);
+
+/// The representative latency of each tier (simulated cycles): the
+/// `TieredScenario` defaults, with the paper's 1000-cycle LAN.
+fn tier_latency(tier: LinkTier) -> Cycles {
+    match tier {
+        LinkTier::Lan => Cycles(1000),
+        LinkTier::Rack => TieredScenario::RACK_LATENCY,
+        LinkTier::Datacenter => TieredScenario::DATACENTER_LATENCY,
+        LinkTier::Wan => TieredScenario::WAN_LATENCY,
+    }
+}
+
+/// The deterministic ring of the chaos harness: one active processor
+/// per barrier phase, so the cycle accounting is a pure function of the
+/// configuration.
+fn run_ring(cluster_size: usize, scenario: Option<Arc<dyn Scenario>>) -> RunReport {
+    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size);
+    cfg.governor_window = None;
+    if let Some(s) = scenario {
+        cfg = cfg.with_scenario(s);
+    }
+    let machine = Machine::new(cfg);
+    let arr =
+        machine.alloc_array_blocked::<u64>(RING_WORDS * RING_PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..RING_PROCS {
+            if pid == phase {
+                let base = ((pid + 1) % RING_PROCS) as u64 * RING_WORDS;
+                for i in 0..RING_WORDS {
+                    arr.write(env, base + i, ((phase as u64) << 32) | i);
+                }
+                let mut acc = 0u64;
+                for i in 0..RING_WORDS {
+                    acc = acc.wrapping_add(arr.read(env, base + i));
+                }
+                std::hint::black_box(acc);
+            }
+            env.barrier();
+        }
+    })
+}
+
+/// Panics unless the two reports carry bit-identical cycle accounting
+/// and LAN traffic.
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.duration.raw(), b.duration.raw(), "{what}: duration");
+    for cat in CostCategory::ALL {
+        assert_eq!(
+            a.breakdown.get(cat).raw(),
+            b.breakdown.get(cat).raw(),
+            "{what}: breakdown {}",
+            cat.label()
+        );
+    }
+    assert_eq!(a.lan_messages, b.lan_messages, "{what}: LAN messages");
+    assert_eq!(a.lan_bytes, b.lan_bytes, "{what}: LAN bytes");
+}
+
+/// The asserted section: the trivial scenario must not move a cycle.
+fn run_equivalence() -> Vec<JsonObject> {
+    let mut records = Vec::new();
+    for c in [1, 2, 4] {
+        let legacy = run_ring(c, None);
+        assert!(legacy.lan_messages > 0, "ring must cross SSMPs at C={c}");
+
+        let fixed = run_ring(c, Some(Arc::new(FixedScenario::new(Cycles(1000)))));
+        assert_identical(&legacy, &fixed, &format!("fixed scenario C={c}"));
+
+        let uniform = run_ring(
+            c,
+            Some(Arc::new(TieredScenario::uniform(
+                LinkTier::Lan,
+                Cycles(1000),
+            ))),
+        );
+        assert_identical(&legacy, &uniform, &format!("uniform-lan C={c}"));
+
+        let mut o = JsonObject::new();
+        o.str("workload", "ring")
+            .num("cluster_size", c as f64)
+            .num("duration_cycles", legacy.duration.raw() as f64)
+            .num("lan_messages", legacy.lan_messages as f64)
+            .num("cycle_exact_fixed_and_uniform", 1.0);
+        records.push(o);
+        println!(
+            "  equivalence C={c}: {} msgs, fixed + uniform-lan cycle-exact",
+            legacy.lan_messages
+        );
+    }
+    records
+}
+
+/// The contention section: per-endpoint interface serialization must
+/// dilate (or at worst equal) the infinite-bandwidth model, without
+/// changing the message count.
+fn run_contention() -> Vec<JsonObject> {
+    let mut records = Vec::new();
+    for c in [1, 2] {
+        let free = run_ring(
+            c,
+            Some(Arc::new(TieredScenario::uniform(
+                LinkTier::Lan,
+                Cycles(1000),
+            ))),
+        );
+        let contended = run_ring(
+            c,
+            Some(Arc::new(
+                TieredScenario::uniform(LinkTier::Lan, Cycles(1000))
+                    .with_interface_contention(IFACE_SERVICE),
+            )),
+        );
+        assert!(
+            contended.duration.raw() >= free.duration.raw(),
+            "contention cannot speed the ring up at C={c}"
+        );
+        assert_eq!(contended.lan_messages, free.lan_messages);
+        let mut o = JsonObject::new();
+        o.str("workload", "ring")
+            .num("cluster_size", c as f64)
+            .num("iface_service_cycles", IFACE_SERVICE.raw() as f64)
+            .num("duration_free_cycles", free.duration.raw() as f64)
+            .num("duration_contended_cycles", contended.duration.raw() as f64)
+            .num(
+                "dilation",
+                contended.duration.raw() as f64 / free.duration.raw().max(1) as f64,
+            );
+        records.push(o);
+        println!(
+            "  contention C={c}: {:.3}x dilation at {} cyc/msg service",
+            contended.duration.raw() as f64 / free.duration.raw().max(1) as f64,
+            IFACE_SERVICE.raw()
+        );
+    }
+    records
+}
+
+/// One tier sweep: a full cluster-size sweep of `app` with every link
+/// priced at `tier`, reduced to the §2.4 framework metrics.
+struct TierPoint {
+    app: &'static str,
+    tier: LinkTier,
+    latency: Cycles,
+    points: Vec<SweepPoint>,
+}
+
+fn run_tier_sweep(base: &DssmpConfig, app: &dyn MgsApp, tier: LinkTier) -> TierPoint {
+    let latency = tier_latency(tier);
+    let mut points = Vec::new();
+    let mut c = 1;
+    while c <= base.n_procs {
+        let mut cfg = base
+            .clone()
+            .with_scenario(Arc::new(TieredScenario::uniform(tier, latency)));
+        cfg.cluster_size = c;
+        let machine = Machine::new(cfg);
+        let report = app.execute(&machine);
+        points.push(SweepPoint {
+            cluster_size: c,
+            report,
+            lock_hit_ratio: machine.lock_hit_ratio(),
+        });
+        c *= 2;
+    }
+    TierPoint {
+        app: app.name(),
+        tier,
+        latency,
+        points,
+    }
+}
+
+/// The churn grid of `tests/churn.rs`: every processor writes its own
+/// block and reads its successor's each round, then cools down in
+/// lockstep past the rejoin. Returns the report and whether the final
+/// home-copy image matched the closed-form expectation.
+fn run_grid(p: usize, churn: bool) -> (RunReport, u64, bool) {
+    let cluster = (p / 2).max(1);
+    let mut cfg = DssmpConfig::new(p, cluster);
+    cfg.governor_window = None;
+    if churn {
+        let scenario =
+            TieredScenario::uniform(LinkTier::Lan, Cycles(1000)).with_churn(ChurnEvent {
+                ssmp: 1,
+                depart: DEPART,
+                rejoin: REJOIN,
+            });
+        cfg = cfg.with_scenario(Arc::new(scenario));
+    }
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_blocked::<u64>(GRID_WORDS * p as u64, AccessKind::DistArray);
+    let report = machine.run(|env| {
+        let pid = env.pid() as u64;
+        let n = env.nprocs() as u64;
+        env.start_measurement();
+        for round in 1..=GRID_ROUNDS {
+            for i in 0..GRID_WORDS {
+                arr.write(env, pid * GRID_WORDS + i, round * 1000 + pid);
+            }
+            env.barrier();
+            let nb = ((pid + 1) % n) * GRID_WORDS;
+            let mut acc = 0u64;
+            for i in 0..GRID_WORDS {
+                acc = acc.wrapping_add(arr.read(env, nb + i));
+            }
+            std::hint::black_box(acc);
+            env.barrier();
+        }
+        for _ in 0..80 {
+            env.compute(5_000);
+            env.barrier();
+        }
+    });
+    let mut verified = true;
+    for pid in 0..p as u64 {
+        for i in 0..GRID_WORDS {
+            if machine.peek(&arr, pid * GRID_WORDS + i) != GRID_ROUNDS * 1000 + pid {
+                verified = false;
+            }
+        }
+    }
+    (report, machine.churn_repaired(), verified)
+}
+
+fn run_churn_section(p: usize) -> Vec<JsonObject> {
+    let (baseline, _, base_ok) = run_grid(p, false);
+    assert!(base_ok, "churn-free grid must verify");
+    let (churned, repaired, churn_ok) = run_grid(p, true);
+    assert!(churn_ok, "churned grid must converge to fault-free image");
+    assert_eq!(churned.churn_departs, 1, "departure applied");
+    assert_eq!(churned.churn_rejoins, 1, "rejoin applied");
+    assert_eq!(repaired, 0, "clean drain leaves nothing to repair");
+
+    let slowdown = churned.duration.raw() as f64 / baseline.duration.raw().max(1) as f64;
+    println!(
+        "  churn P={p}: {} pages re-homed, {} retries, {:.3}x vs churn-free, converged",
+        churned.rehomed_pages, churned.retries, slowdown
+    );
+    let mut o = JsonObject::new();
+    o.str("workload", "grid")
+        .num("p", p as f64)
+        .num("depart_cycle", DEPART.raw() as f64)
+        .num("rejoin_cycle", REJOIN.raw() as f64)
+        .num("duration_churn_free_cycles", baseline.duration.raw() as f64)
+        .num("duration_churned_cycles", churned.duration.raw() as f64)
+        .num("slowdown_vs_churn_free", slowdown)
+        .num("rehomed_pages", churned.rehomed_pages as f64)
+        .num("retries", churned.retries as f64)
+        .num("stale_entries_repaired", repaired as f64)
+        .num("verified", 1.0);
+    vec![o]
+}
+
+fn main() {
+    let opts = Options::parse();
+    let smoke = opts.args.iter().any(|a| a == "--smoke");
+    let base = suite::base_config(&opts);
+
+    println!(
+        "scenario: latency tiers, contention and churn (P = {}{})",
+        opts.p,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    println!("\nequivalence (deterministic ring, asserted cycle-exact):");
+    let equivalence = run_equivalence();
+
+    println!("\ncontention (per-endpoint interface serialization):");
+    let contention = run_contention();
+
+    println!("\nchurn (SSMP departure + rejoin, verified convergence):");
+    let churn = run_churn_section(if smoke { 4 } else { opts.p.min(8) });
+
+    let tiers: &[LinkTier] = if smoke {
+        &[LinkTier::Rack, LinkTier::Wan]
+    } else {
+        LinkTier::ALL.as_slice()
+    };
+    let mut apps: Vec<Box<dyn MgsApp>> = suite::suite(&opts)
+        .into_iter()
+        .map(|(app, _)| app)
+        .collect();
+    if smoke {
+        apps.truncate(1);
+    }
+
+    let budget = WorkerBudget::new(
+        opts.jobs
+            .unwrap_or_else(mgs_bench::parallel::host_parallelism)
+            .max(opts.p),
+    );
+    let mut jobs: Vec<(usize, Box<dyn FnOnce() -> TierPoint + Send>)> = Vec::new();
+    for app in &apps {
+        for &tier in tiers {
+            let base = base.clone();
+            let app = app.as_ref();
+            jobs.push((opts.p, Box::new(move || run_tier_sweep(&base, app, tier))));
+        }
+    }
+    println!(
+        "\ntiers: {} apps x {} tiers, full cluster-size sweep each",
+        apps.len(),
+        tiers.len()
+    );
+    let tier_points = run_weighted(&budget, jobs);
+
+    let mut tier_records = Vec::with_capacity(tier_points.len());
+    for tp in &tier_points {
+        let m = metrics(&tp.points);
+        let mut o = JsonObject::new();
+        o.str("app", tp.app)
+            .str("tier", tp.tier.name())
+            .num("latency_cycles", tp.latency.raw() as f64)
+            .num("breakup_penalty", m.breakup_penalty)
+            .num("multigrain_potential", m.multigrain_potential)
+            .num("curvature_value", m.curvature_value)
+            .str("curvature", &m.curvature.to_string());
+        let mut sweep = Vec::with_capacity(tp.points.len());
+        for pt in &tp.points {
+            let mut s = JsonObject::new();
+            s.num("cluster_size", pt.cluster_size as f64)
+                .num("duration_cycles", pt.report.duration.raw() as f64)
+                .num("lan_messages", pt.report.lan_messages as f64)
+                .num("lock_hit_ratio", pt.lock_hit_ratio);
+            sweep.push(s);
+        }
+        o.array("sweep", sweep);
+        println!(
+            "  {:>12} @ {:>10} ({} cyc): {}",
+            tp.app,
+            tp.tier.name(),
+            tp.latency.raw(),
+            m
+        );
+        tier_records.push(o);
+    }
+
+    let mut root = JsonObject::new();
+    root.str("bench", "scenario")
+        .num("p", opts.p as f64)
+        .num("scale", opts.scale as f64)
+        .num("smoke", if smoke { 1.0 } else { 0.0 })
+        .array("equivalence", equivalence)
+        .array("contention", contention)
+        .array("churn", churn)
+        .array("tiers", tier_records);
+    let path = "BENCH_scenario.json";
+    std::fs::write(path, root.render(0) + "\n").expect("write BENCH_scenario.json");
+    println!("\nwrote {path}: breakup penalty charted against link tier");
+}

@@ -101,6 +101,9 @@ mod tests {
             lan_drops: 0,
             lan_duplicates: 0,
             retries: 0,
+            churn_departs: 0,
+            churn_rejoins: 0,
+            rehomed_pages: 0,
             metrics: None,
         }
     }

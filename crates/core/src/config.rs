@@ -1,9 +1,10 @@
 //! DSSMP machine configuration.
 
-use mgs_net::FaultPlan;
+use mgs_net::{FaultPlan, Scenario};
 use mgs_proto::RetryPolicy;
 use mgs_sim::{CostModel, Cycles, SpinPolicy};
 use mgs_vm::PageGeometry;
+use std::sync::Arc;
 
 /// Which engine implements the time governor. All variants bound skew
 /// identically and never charge simulated cycles, so simulated results
@@ -152,6 +153,11 @@ pub struct DssmpConfig {
     /// Timeout/retransmission policy the protocol uses to recover from
     /// injected message loss. Never consulted on a perfect fabric.
     pub retry: RetryPolicy,
+    /// The external-fabric scenario (see [`Scenario`]): latency tiers,
+    /// interface contention and SSMP churn. `None` (the default) keeps
+    /// the paper's fixed-latency LAN, bit-identical to builds without
+    /// scenario support (gated by `tests/scenario_equivalence.rs`).
+    pub scenario: Option<Arc<dyn Scenario>>,
 }
 
 impl DssmpConfig {
@@ -190,12 +196,20 @@ impl DssmpConfig {
             observe: false,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::lan_default(),
+            scenario: None,
         }
     }
 
     /// Attaches a seeded [`FaultPlan`] to the external LAN.
     pub fn with_faults(mut self, plan: FaultPlan) -> DssmpConfig {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs an external-fabric [`Scenario`] (latency tiers,
+    /// interface contention, churn schedule).
+    pub fn with_scenario(mut self, scenario: Arc<dyn Scenario>) -> DssmpConfig {
+        self.scenario = Some(scenario);
         self
     }
 

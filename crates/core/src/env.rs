@@ -1,5 +1,6 @@
 //! The per-processor execution environment.
 
+use crate::churn::ChurnState;
 use crate::report::ProcResult;
 use crate::runtime::RuntimeTiming;
 use crate::Machine;
@@ -201,6 +202,10 @@ pub struct Env {
     /// into this processor's shard — no locks, no allocation, and no
     /// simulated-clock interaction (the zero-perturbation invariant).
     obs: Option<Arc<ObsSink>>,
+    /// The scenario churn controller, hoisted for the polled due check
+    /// at the protocol slow paths (`None` on churn-free scenarios, so
+    /// the common case is one branch).
+    churn: Option<Arc<ChurnState>>,
 }
 
 impl Env {
@@ -230,6 +235,7 @@ impl Env {
         let cluster_size = cfg.cluster_size;
         let cost = cfg.cost.clone();
         let obs = machine.obs().cloned();
+        let churn = machine.churn().cloned();
         Env {
             machine,
             proc,
@@ -248,6 +254,7 @@ impl Env {
             cost,
             xlate_cache: (0..XLATE_SLOTS).map(|_| None).collect(),
             obs,
+            churn,
         }
     }
 
@@ -423,6 +430,7 @@ impl Env {
             self.proto.tlb(self.proc).insert(page, entry.clone());
             return entry;
         }
+        self.maybe_churn();
         let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
         self.proto.fault(self.proc, page, write, &mut timing)
     }
@@ -435,6 +443,7 @@ impl Env {
     /// to lock time.
     pub fn acquire(&mut self, lock: &MgsLock) {
         self.maybe_tick();
+        self.maybe_churn();
         let requested = self.clock.now();
         let (granted, hit) = lock.acquire_gov(self.ssmp, requested, self.gov_hook());
         if let Some(obs) = &self.obs {
@@ -496,6 +505,7 @@ impl Env {
     pub fn barrier(&mut self) {
         self.flush();
         self.maybe_tick();
+        self.maybe_churn();
         let arrived = self.clock.now();
         let released = self
             .machine
@@ -521,6 +531,7 @@ impl Env {
     /// [`barrier`](Env::barrier).
     pub fn barrier_sync_only(&mut self) {
         self.maybe_tick();
+        self.maybe_churn();
         let arrived = self.clock.now();
         let released = self
             .machine
@@ -561,6 +572,20 @@ impl Env {
     // ------------------------------------------------------------------
     // Plumbing
     // ------------------------------------------------------------------
+
+    /// Polls the churn controller at protocol slow paths (faults, lock
+    /// acquires, barriers — never the per-access hot path). The poll
+    /// points hold no protocol locks, so the winning processor can take
+    /// the apply lock and run the full drain safely.
+    fn maybe_churn(&mut self) {
+        let Some(churn) = &self.churn else { return };
+        if !churn.due(self.clock.now()) {
+            return;
+        }
+        let churn = Arc::clone(churn);
+        let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
+        churn.apply(&self.machine, &mut timing);
+    }
 
     fn maybe_tick(&mut self) {
         if self.tick_stride == Cycles::MAX {

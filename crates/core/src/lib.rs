@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod churn;
 mod config;
 mod env;
 mod machine;
@@ -59,7 +60,10 @@ pub use report::RunReport;
 pub use trace::{export_perfetto, TraceEvent, TraceKind};
 
 // Re-exports used throughout the public API.
-pub use mgs_net::{FaultPlan, FaultSpec, NetStats};
+pub use mgs_net::{
+    ChurnEvent, FaultPlan, FaultSpec, FixedScenario, Link, LinkTier, NetStats, Scenario,
+    TieredScenario,
+};
 pub use mgs_obs::{
     GovernorWaitReport, HistSummary, LatencyClass, Metric, MetricsReport, ObsSink, PageProfile,
     SharingReport, XactKind, XactOutcome,

@@ -1,5 +1,6 @@
 //! The DSSMP machine.
 
+use crate::churn::ChurnState;
 use crate::env::{Env, SharedArray, Word};
 use crate::report::RunReport;
 use crate::trace::TraceEvent;
@@ -40,6 +41,7 @@ pub struct Machine {
     locks: Mutex<Vec<Arc<MgsLock>>>,
     trace: Option<Mutex<Vec<TraceEvent>>>,
     obs: Option<Arc<ObsSink>>,
+    churn: Option<Arc<ChurnState>>,
 }
 
 impl Machine {
@@ -53,9 +55,17 @@ impl Machine {
         pcfg.lazy_read_invalidation = cfg.lazy_read_invalidation;
         pcfg.retry = cfg.retry;
         let proto = Arc::new(MgsProtocol::new(pcfg));
-        let lan = Arc::new(
-            LanModel::new(cfg.n_ssmps(), cfg.ext_latency).with_faults(cfg.fault_plan.clone()),
-        );
+        let mut lan =
+            LanModel::new(cfg.n_ssmps(), cfg.ext_latency).with_faults(cfg.fault_plan.clone());
+        if let Some(scenario) = &cfg.scenario {
+            lan = lan.with_scenario(Arc::clone(scenario));
+        }
+        let lan = Arc::new(lan);
+        let churn = cfg
+            .scenario
+            .as_ref()
+            .and_then(|s| ChurnState::new(s.churn(), cfg.n_ssmps()))
+            .map(Arc::new);
         let engines = (0..cfg.n_procs)
             .map(|_| Arc::new(Occupancy::new()))
             .collect();
@@ -114,6 +124,7 @@ impl Machine {
             locks: Mutex::new(Vec::new()),
             trace,
             obs,
+            churn,
         })
     }
 
@@ -147,6 +158,16 @@ impl Machine {
 
     pub(crate) fn governor(&self) -> Option<&Arc<TimeGovernor>> {
         self.governor.as_ref()
+    }
+
+    pub(crate) fn churn(&self) -> Option<&Arc<ChurnState>> {
+        self.churn.as_ref()
+    }
+
+    /// Stale directory entries repaired at churn rejoins so far (0 after
+    /// clean drains, and 0 when the scenario has no churn schedule).
+    pub fn churn_repaired(&self) -> u64 {
+        self.churn.as_ref().map_or(0, |c| c.repaired())
     }
 
     /// Per-processor governor wait accounting for the run so far, when
@@ -389,6 +410,7 @@ impl Machine {
                 self.lan.stats().duplicated_total(),
                 self.proto.stats().retries.get(),
             ),
+            self.churn.as_ref().map_or((0, 0, 0), |c| c.totals()),
             self.obs.as_ref().map(|o| o.registry.merge()),
         )
     }

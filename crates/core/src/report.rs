@@ -51,6 +51,13 @@ pub struct RunReport {
     pub lan_duplicates: u64,
     /// Protocol retransmissions performed to recover from the drops.
     pub retries: u64,
+    /// SSMP departures applied by the scenario's churn schedule (0 when
+    /// the scenario has none).
+    pub churn_departs: u64,
+    /// SSMP rejoins applied by the churn schedule.
+    pub churn_rejoins: u64,
+    /// Pages re-homed to survivors across all departures.
+    pub rehomed_pages: u64,
     /// Merged metrics snapshot from the `mgs-obs` registry; present only
     /// when [`DssmpConfig::observe`](crate::DssmpConfig) was enabled.
     pub metrics: Option<MetricsReport>,
@@ -62,6 +69,7 @@ impl RunReport {
         lock_totals: (u64, u64),
         lan_totals: (u64, u64),
         fault_totals: (u64, u64, u64),
+        churn_totals: (u64, u64, u64),
         metrics: Option<MetricsReport>,
     ) -> RunReport {
         let n = results.len().max(1) as u64;
@@ -106,6 +114,9 @@ impl RunReport {
             lan_drops: fault_totals.0,
             lan_duplicates: fault_totals.1,
             retries: fault_totals.2,
+            churn_departs: churn_totals.0,
+            churn_rejoins: churn_totals.1,
+            rehomed_pages: churn_totals.2,
             metrics,
         }
     }
@@ -158,6 +169,13 @@ impl fmt::Display for RunReport {
                 self.lan_drops, self.lan_duplicates, self.retries
             )?;
         }
+        if self.churn_departs + self.churn_rejoins > 0 {
+            write!(
+                f,
+                "\n  churn: {} departures, {} rejoins, {} pages re-homed",
+                self.churn_departs, self.churn_rejoins, self.rehomed_pages
+            )?;
+        }
         Ok(())
     }
 }
@@ -183,6 +201,7 @@ mod tests {
             (0, 0),
             (0, 0),
             (0, 0, 0),
+            (0, 0, 0),
             None,
         );
         assert_eq!(r.duration, Cycles(240));
@@ -194,6 +213,7 @@ mod tests {
             vec![result(0, 100, 100), result(0, 100, 50)],
             (0, 0),
             (0, 0),
+            (0, 0, 0),
             (0, 0, 0),
             None,
         );
@@ -223,6 +243,7 @@ mod tests {
             (0, 0),
             (0, 0),
             (0, 0, 0),
+            (0, 0, 0),
             None,
         );
         let grand: u64 = [4 + 3 + 4, 3 + 3 + 5, 5 + 3 + 3, 2 + 3 + 6].iter().sum();
@@ -241,15 +262,36 @@ mod tests {
 
     #[test]
     fn hit_ratio_defaults_to_one() {
-        let r = RunReport::from_procs(vec![result(0, 1, 1)], (0, 0), (0, 0), (0, 0, 0), None);
+        let r = RunReport::from_procs(
+            vec![result(0, 1, 1)],
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+            (0, 0, 0),
+            None,
+        );
         assert_eq!(r.lock_hit_ratio(), 1.0);
-        let r2 = RunReport::from_procs(vec![result(0, 1, 1)], (10, 4), (0, 0), (0, 0, 0), None);
+        let r2 = RunReport::from_procs(
+            vec![result(0, 1, 1)],
+            (10, 4),
+            (0, 0),
+            (0, 0, 0),
+            (0, 0, 0),
+            None,
+        );
         assert!((r2.lock_hit_ratio() - 0.4).abs() < 1e-12);
     }
 
     #[test]
     fn display_contains_all_categories() {
-        let r = RunReport::from_procs(vec![result(0, 10, 10)], (0, 0), (0, 0), (0, 0, 0), None);
+        let r = RunReport::from_procs(
+            vec![result(0, 10, 10)],
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+            (0, 0, 0),
+            None,
+        );
         let s = r.to_string();
         for label in ["User", "Lock", "Barrier", "MGS"] {
             assert!(s.contains(label), "missing {label}");

@@ -89,10 +89,15 @@ impl ProtoTiming for RuntimeTiming<'_> {
             obs.registry.count_lan(self.proc, kind);
         }
         self.clock.charge(CostCategory::Mgs, cost.msg_send);
-        let arrival = self
-            .machine
-            .lan()
-            .send(from, to, kind, payload_bytes, self.clock.now());
+        let sent = self.clock.now();
+        let arrival = self.machine.lan().send(from, to, kind, payload_bytes, sent);
+        if let Some(obs) = self.machine.obs() {
+            obs.registry.record_latency(
+                self.proc,
+                LatencyClass::for_tier(self.machine.lan().tier(from, to)),
+                arrival.saturating_sub(sent),
+            );
+        }
         self.clock.advance_to(CostCategory::Mgs, arrival);
         self.clock.charge(CostCategory::Mgs, cost.msg_recv);
     }
@@ -142,9 +147,10 @@ impl ProtoTiming for RuntimeTiming<'_> {
         kind: MsgKind,
         payload_bytes: u64,
     ) -> SendOutcome {
-        if from == to || self.machine.lan().fault_plan().is_none() {
-            // Intra-SSMP messages and perfect fabrics: identical charge
-            // sequence to the pre-fault-injection runtime.
+        if from == to || self.machine.lan().is_perfect() {
+            // Intra-SSMP messages and perfect fabrics (no fault plan, no
+            // churn): identical charge sequence to the
+            // pre-fault-injection runtime.
             self.message(from, to, kind, payload_bytes);
             return SendOutcome::Delivered { duplicates: 0 };
         }
@@ -155,10 +161,11 @@ impl ProtoTiming for RuntimeTiming<'_> {
         }
         let cost = &self.machine.config().cost;
         self.clock.charge(CostCategory::Mgs, cost.msg_send);
+        let sent = self.clock.now();
         let delivery = self
             .machine
             .lan()
-            .transmit(from, to, kind, payload_bytes, self.clock.now());
+            .transmit(from, to, kind, payload_bytes, sent);
         match delivery {
             Delivery::Delivered {
                 arrival,
@@ -193,6 +200,13 @@ impl ProtoTiming for RuntimeTiming<'_> {
                             },
                         });
                     }
+                }
+                if let Some(obs) = self.machine.obs() {
+                    obs.registry.record_latency(
+                        self.proc,
+                        LatencyClass::for_tier(self.machine.lan().tier(from, to)),
+                        arrival.saturating_sub(sent),
+                    );
                 }
                 self.clock.advance_to(CostCategory::Mgs, arrival);
                 self.clock.charge(CostCategory::Mgs, cost.msg_recv);
@@ -239,6 +253,14 @@ impl ProtoTiming for RuntimeTiming<'_> {
             });
         }
         self.clock.charge(CostCategory::Mgs, wait);
+        // A retrying sender may be the only processor making progress
+        // (everyone else parked at a barrier behind it), and it may hold
+        // its page's server lock — so restore due rejoin links here,
+        // lock-free, to guarantee outages end. The directory-repair
+        // drain stays deferred to the safe poll points in `Env`.
+        if let Some(churn) = self.machine.churn() {
+            churn.advance_rejoin_links(self.machine.lan(), self.clock.now());
+        }
     }
 
     fn block_begin(&mut self) {
@@ -324,6 +346,37 @@ impl ProtoTiming for RuntimeTiming<'_> {
                     });
                 }
             }
+            // Churn transitions are machine-level: counters plus a trace
+            // instant, no page attribution.
+            ObsEvent::Churn {
+                ssmp,
+                rejoin,
+                rehomed,
+            } => {
+                if let Some(obs) = self.machine.obs() {
+                    let metric = if rejoin {
+                        Metric::ChurnRejoins
+                    } else {
+                        Metric::ChurnDepartures
+                    };
+                    obs.registry.count(self.proc, metric, 1);
+                    if rehomed > 0 {
+                        obs.registry
+                            .count(self.proc, Metric::ChurnRehomedPages, rehomed);
+                    }
+                }
+                if self.machine.tracing() {
+                    self.machine.record_trace(TraceEvent {
+                        proc: self.proc,
+                        time: self.clock.now(),
+                        kind: TraceKind::Churn {
+                            ssmp,
+                            rejoin,
+                            rehomed,
+                        },
+                    });
+                }
+            }
             // Everything else: a counter bump plus per-page attribution.
             _ => {
                 if let Some(obs) = self.machine.obs() {
@@ -341,7 +394,9 @@ impl ProtoTiming for RuntimeTiming<'_> {
                         ObsEvent::DuqFlush { .. } => Some(Metric::DuqFlushes),
                         ObsEvent::LazyNotice { .. } => Some(Metric::LazyNotices),
                         ObsEvent::Pinv { .. } => Some(Metric::Pinvs),
-                        ObsEvent::XactBegin { .. } | ObsEvent::XactEnd { .. } => unreachable!(),
+                        ObsEvent::XactBegin { .. }
+                        | ObsEvent::XactEnd { .. }
+                        | ObsEvent::Churn { .. } => unreachable!(),
                     };
                     if let Some(m) = metric {
                         obs.registry.count(self.proc, m, 1);

@@ -95,6 +95,17 @@ pub enum TraceKind {
         /// Backoff wait charged to the sender.
         wait: Cycles,
     },
+    /// An SSMP departed from or rejoined the machine (scenario churn);
+    /// `time` is the applying processor's clock at the transition.
+    Churn {
+        /// The departing/rejoining SSMP.
+        ssmp: usize,
+        /// `false` for the departure, `true` for the rejoin.
+        rejoin: bool,
+        /// Pages re-homed to a survivor during the departure (0 on
+        /// rejoin).
+        rehomed: u64,
+    },
 }
 
 /// Converts a machine trace into Chrome/Perfetto `trace_event` JSON,
@@ -211,6 +222,27 @@ pub fn export_perfetto(events: &[TraceEvent], n_procs: usize, cluster_size: usiz
                         ],
                     );
                 }
+                TraceKind::Churn {
+                    ssmp,
+                    rejoin,
+                    rehomed,
+                } => {
+                    let name = if *rejoin {
+                        "churn_rejoin"
+                    } else {
+                        "churn_depart"
+                    };
+                    t.instant(
+                        pid,
+                        tid,
+                        ts,
+                        name,
+                        &[
+                            ("ssmp", (*ssmp).into()),
+                            ("rehomed_pages", (*rehomed).into()),
+                        ],
+                    );
+                }
             }
         }
     }
@@ -297,6 +329,27 @@ impl fmt::Display for TraceEvent {
                 self.time.raw(),
                 wait.raw()
             ),
+            TraceKind::Churn {
+                ssmp,
+                rejoin,
+                rehomed,
+            } => {
+                if *rejoin {
+                    write!(
+                        f,
+                        "[p{:02} @{:>10}] SSMP {ssmp} rejoined",
+                        self.proc,
+                        self.time.raw()
+                    )
+                } else {
+                    write!(
+                        f,
+                        "[p{:02} @{:>10}] SSMP {ssmp} departed ({rehomed} pages re-homed)",
+                        self.proc,
+                        self.time.raw()
+                    )
+                }
+            }
         }
     }
 }

@@ -1,8 +1,9 @@
 //! External (inter-SSMP) network: the LAN model of §4.2.2.
 
-use crate::{Fate, FaultPlan, MsgKind, NetStats};
+use crate::{Fate, FaultPlan, FixedScenario, LinkTier, MsgKind, NetStats, Scenario};
 use mgs_sim::{Cycles, Occupancy};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What the fabric did with one transmission (see
 /// [`LanModel::transmit`]).
@@ -59,6 +60,17 @@ pub struct LanModel {
     n_ssmps: usize,
     latency: Cycles,
     per_byte: Cycles,
+    /// The fabric description consulted per message. Defaults to the
+    /// trivial [`FixedScenario`] mirroring `latency`/`per_byte`, whose
+    /// cost arithmetic is bit-identical to the historical fixed-latency
+    /// model (gated by `tests/scenario_equivalence.rs`).
+    scenario: Arc<dyn Scenario>,
+    /// `true` while the scenario is the auto-installed [`FixedScenario`]
+    /// (so `with_per_byte` keeps the mirror in sync).
+    trivial: bool,
+    /// Per-SSMP link state, flipped by churn: a down endpoint drops
+    /// every transmission to or from it.
+    down: Vec<AtomicBool>,
     interfaces: Option<Vec<Occupancy>>,
     iface_service: Cycles,
     faults: Option<FaultState>,
@@ -90,11 +102,29 @@ impl LanModel {
             n_ssmps,
             latency,
             per_byte: Cycles::ZERO,
+            scenario: Arc::new(FixedScenario::new(latency)),
+            trivial: true,
+            down: (0..n_ssmps).map(|_| AtomicBool::new(false)).collect(),
             interfaces: None,
             iface_service: Cycles::ZERO,
             faults: None,
             stats: NetStats::new(),
         }
+    }
+
+    /// Installs a [`Scenario`] describing the fabric: per-link tiers
+    /// and costs, optional interface contention (allocating the
+    /// per-endpoint occupancies here) and a churn schedule. Replaces
+    /// the trivial fixed-latency scenario installed by
+    /// [`new`](LanModel::new).
+    pub fn with_scenario(mut self, scenario: Arc<dyn Scenario>) -> LanModel {
+        if let Some(service) = scenario.iface_service() {
+            self.interfaces = Some((0..self.n_ssmps).map(|_| Occupancy::new()).collect());
+            self.iface_service = service;
+        }
+        self.scenario = scenario;
+        self.trivial = false;
+        self
     }
 
     /// Enables per-SSMP interface occupancy: each outgoing message holds
@@ -106,9 +136,13 @@ impl LanModel {
     }
 
     /// Adds a per-payload-byte wire cost (0 by default: the paper models
-    /// latency only).
+    /// latency only). Applies to the trivial fixed-latency scenario;
+    /// an installed [`Scenario`] carries its own per-byte costs.
     pub fn with_per_byte(mut self, per_byte: Cycles) -> LanModel {
         self.per_byte = per_byte;
+        if self.trivial {
+            self.scenario = Arc::new(FixedScenario::new(self.latency).with_per_byte(per_byte));
+        }
         self
     }
 
@@ -134,7 +168,9 @@ impl LanModel {
         self.faults.as_ref().map(|f| &f.plan)
     }
 
-    /// The fixed one-way latency.
+    /// The fixed one-way latency of the trivial scenario. With an
+    /// installed [`Scenario`] this is the construction-time baseline
+    /// only; per-link costs come from [`Scenario::link`].
     pub fn latency(&self) -> Cycles {
         self.latency
     }
@@ -142,6 +178,39 @@ impl LanModel {
     /// Number of SSMPs this LAN connects.
     pub fn n_ssmps(&self) -> usize {
         self.n_ssmps
+    }
+
+    /// The installed scenario.
+    pub fn scenario(&self) -> &Arc<dyn Scenario> {
+        &self.scenario
+    }
+
+    /// The tier of the `src → dst` link (`LinkTier::Lan` for intra-SSMP
+    /// messages, which never reach the scenario).
+    pub fn tier(&self, src: usize, dst: usize) -> LinkTier {
+        if src == dst {
+            LinkTier::Lan
+        } else {
+            self.scenario.link(src, dst).tier
+        }
+    }
+
+    /// `true` when the fabric never misbehaves: no active fault plan
+    /// and no churn schedule. The runtime's decision-free fast path is
+    /// gated on this.
+    pub fn is_perfect(&self) -> bool {
+        self.faults.is_none() && self.scenario.churn().is_empty()
+    }
+
+    /// Flips SSMP `ssmp`'s link state (churn). While down, every
+    /// [`transmit`](LanModel::transmit) to or from it is dropped.
+    pub fn set_link_up(&self, ssmp: usize, up: bool) {
+        self.down[ssmp].store(!up, Ordering::Release);
+    }
+
+    /// `true` while SSMP `ssmp`'s link is up.
+    pub fn link_up(&self, ssmp: usize) -> bool {
+        !self.down[ssmp].load(Ordering::Acquire)
     }
 
     /// Departure time of a message entering the fabric at `now`,
@@ -174,7 +243,8 @@ impl LanModel {
         debug_assert!(src < self.n_ssmps, "src SSMP {src} out of range");
         debug_assert!(dst < self.n_ssmps, "dst SSMP {dst} out of range");
         self.stats.record(kind, payload_bytes);
-        self.depart(src, now) + self.latency + self.per_byte * payload_bytes
+        let link = self.scenario.link(src, dst);
+        self.depart(src, now) + link.latency + link.per_byte * payload_bytes
     }
 
     /// Sends a message through the fabric *including* the attached
@@ -222,6 +292,15 @@ impl LanModel {
         debug_assert!(src < self.n_ssmps, "src SSMP {src} out of range");
         debug_assert!(dst < self.n_ssmps, "dst SSMP {dst} out of range");
         self.stats.record(kind, payload_bytes);
+        // Churn drops happen before the fault-plan sequence fetch and
+        // before interface occupancy, so an outage neither shifts the
+        // deterministic per-channel fate streams nor holds the downed
+        // interface busy.
+        if !self.link_up(src) || !self.link_up(dst) {
+            self.stats.record_drop(kind);
+            return Delivery::Dropped;
+        }
+        let link = self.scenario.link(src, dst);
         let depart = self.depart(src, now);
         let fate = match &self.faults {
             None => Fate::Deliver {
@@ -247,7 +326,7 @@ impl LanModel {
                     self.stats.record_jitter(jitter.raw());
                 }
                 Delivery::Delivered {
-                    arrival: depart + self.latency + jitter + self.per_byte * payload_bytes,
+                    arrival: depart + link.latency + jitter + link.per_byte * payload_bytes,
                     duplicates,
                 }
             }
@@ -385,6 +464,76 @@ mod tests {
         assert_eq!(lan.stats().duplicated_total(), dup_seen);
         assert!(dup_seen > 0, "50% duplication over 200 sends");
         assert_eq!(lan.stats().duplicated(MsgKind::Diff), dup_seen);
+    }
+
+    #[test]
+    fn scenario_links_price_each_pair() {
+        use crate::TieredScenario;
+        // 4 SSMPs: racks of 2, one rack per datacenter → rack / wan.
+        let lan = LanModel::new(4, Cycles(1000)).with_scenario(Arc::new(TieredScenario::new(2, 1)));
+        let near = lan.send(0, 1, MsgKind::RReq, 0, Cycles(0));
+        let far = lan.send(0, 2, MsgKind::RReq, 0, Cycles(0));
+        assert_eq!(near, TieredScenario::RACK_LATENCY);
+        assert_eq!(far, TieredScenario::WAN_LATENCY);
+        assert_eq!(lan.tier(0, 1), LinkTier::Rack);
+        assert_eq!(lan.tier(0, 2), LinkTier::Wan);
+        assert_eq!(lan.tier(1, 1), LinkTier::Lan);
+    }
+
+    #[test]
+    fn scenario_contention_allocates_interfaces() {
+        use crate::TieredScenario;
+        let lan = LanModel::new(2, Cycles(1000)).with_scenario(Arc::new(
+            TieredScenario::uniform(LinkTier::Lan, Cycles(1000))
+                .with_interface_contention(Cycles(50)),
+        ));
+        let a = lan.send(0, 1, MsgKind::Inv, 0, Cycles(0));
+        let b = lan.send(0, 1, MsgKind::Inv, 0, Cycles(0));
+        assert_eq!(a, Cycles(1050));
+        assert_eq!(b, Cycles(1100));
+    }
+
+    #[test]
+    fn down_links_drop_in_both_directions() {
+        let lan = LanModel::new(3, Cycles(1000));
+        assert!(lan.link_up(1));
+        lan.set_link_up(1, false);
+        assert_eq!(
+            lan.transmit(0, 1, MsgKind::RReq, 0, Cycles(0)),
+            Delivery::Dropped
+        );
+        assert_eq!(
+            lan.transmit(1, 0, MsgKind::Ack, 0, Cycles(0)),
+            Delivery::Dropped
+        );
+        // Third parties are unaffected.
+        assert!(matches!(
+            lan.transmit(0, 2, MsgKind::RReq, 0, Cycles(0)),
+            Delivery::Delivered { .. }
+        ));
+        lan.set_link_up(1, true);
+        assert!(matches!(
+            lan.transmit(0, 1, MsgKind::RReq, 0, Cycles(0)),
+            Delivery::Delivered { .. }
+        ));
+        assert_eq!(lan.stats().dropped_total(), 2);
+    }
+
+    #[test]
+    fn churn_free_default_is_perfect() {
+        use crate::{ChurnEvent, TieredScenario};
+        assert!(LanModel::new(2, Cycles(1000)).is_perfect());
+        assert!(!LanModel::new(2, Cycles(1000))
+            .with_faults(FaultPlan::uniform(1, 0.1, 0.0, Cycles::ZERO))
+            .is_perfect());
+        let churny = TieredScenario::new(1, 1).with_churn(ChurnEvent {
+            ssmp: 0,
+            depart: Cycles(10),
+            rejoin: Cycles(20),
+        });
+        assert!(!LanModel::new(2, Cycles(1000))
+            .with_scenario(Arc::new(churny))
+            .is_perfect());
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! through the attached plan and reports the [`Delivery`] outcome; the
 //! MGS protocol layer (`mgs-proto`) recovers from losses with
 //! timeout/retry and from duplicates with sequence-number dedup.
+//!
+//! The external fabric itself is pluggable: a [`Scenario`] behind the
+//! `LanModel` describes per-link latency tiers ([`TieredScenario`]:
+//! rack / datacenter / WAN with asymmetric overrides), interface
+//! contention, and a schedule of SSMP departures and rejoins
+//! ([`ChurnEvent`]). The default [`FixedScenario`] reproduces the
+//! paper's single-constant LAN bit-identically. See
+//! `docs/SCENARIOS.md` for the contract and a worked churn example.
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -31,8 +39,10 @@ mod fault;
 mod lan;
 mod mesh;
 mod msg;
+mod scenario;
 
 pub use fault::{Fate, FaultPlan, FaultSpec};
 pub use lan::{Delivery, LanModel};
 pub use mesh::MeshTopology;
 pub use msg::{MsgKind, NetStats};
+pub use scenario::{ChurnEvent, FixedScenario, Link, LinkTier, Scenario, TieredScenario};

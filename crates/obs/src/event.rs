@@ -158,4 +158,14 @@ pub enum ObsEvent {
         /// The global processor whose TLB entry was invalidated.
         proc: usize,
     },
+    /// An SSMP departed from or rejoined the machine (scenario churn).
+    Churn {
+        /// The departing/rejoining SSMP.
+        ssmp: usize,
+        /// `false` for the departure, `true` for the rejoin.
+        rejoin: bool,
+        /// Pages re-homed to a survivor during this departure (0 on
+        /// rejoin).
+        rehomed: u64,
+    },
 }

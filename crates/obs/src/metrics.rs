@@ -77,11 +77,17 @@ pub enum Metric {
     Retries,
     /// Transactions aborted after exhausting their retry budget.
     XactAborts,
+    /// SSMPs that departed the machine mid-run (churn).
+    ChurnDepartures,
+    /// SSMPs that rejoined after a departure.
+    ChurnRejoins,
+    /// Pages re-homed to a survivor SSMP during departures.
+    ChurnRehomedPages,
 }
 
 impl Metric {
     /// Every metric, in display order.
-    pub const ALL: [Metric; 31] = [
+    pub const ALL: [Metric; 34] = [
         Metric::Loads,
         Metric::Stores,
         Metric::HwHit,
@@ -113,6 +119,9 @@ impl Metric {
         Metric::LanDuplicates,
         Metric::Retries,
         Metric::XactAborts,
+        Metric::ChurnDepartures,
+        Metric::ChurnRejoins,
+        Metric::ChurnRehomedPages,
     ];
 
     /// Number of metrics.
@@ -157,6 +166,9 @@ impl Metric {
             Metric::LanDuplicates => "lan_duplicates",
             Metric::Retries => "retries",
             Metric::XactAborts => "xact_aborts",
+            Metric::ChurnDepartures => "churn_departures",
+            Metric::ChurnRejoins => "churn_rejoins",
+            Metric::ChurnRehomedPages => "churn_rehomed_pages",
         }
     }
 }
@@ -180,11 +192,20 @@ pub enum LatencyClass {
     BarrierWait,
     /// Retransmission backoff waits.
     RetryBackoff,
+    /// Message crossings over `LinkTier::Lan` links (trivial fixed
+    /// scenario): send → arrival, one sample per inter-SSMP message.
+    TierLan,
+    /// Message crossings over rack-tier links.
+    TierRack,
+    /// Message crossings over datacenter-tier links.
+    TierDatacenter,
+    /// Message crossings over WAN-tier links.
+    TierWan,
 }
 
 impl LatencyClass {
     /// Every class, in display order.
-    pub const ALL: [LatencyClass; 8] = [
+    pub const ALL: [LatencyClass; 12] = [
         LatencyClass::TlbFill,
         LatencyClass::ReadMiss,
         LatencyClass::WriteMiss,
@@ -193,7 +214,21 @@ impl LatencyClass {
         LatencyClass::LockWait,
         LatencyClass::BarrierWait,
         LatencyClass::RetryBackoff,
+        LatencyClass::TierLan,
+        LatencyClass::TierRack,
+        LatencyClass::TierDatacenter,
+        LatencyClass::TierWan,
     ];
+
+    /// The class recording message crossings of the given link tier.
+    pub fn for_tier(tier: mgs_net::LinkTier) -> LatencyClass {
+        match tier {
+            mgs_net::LinkTier::Lan => LatencyClass::TierLan,
+            mgs_net::LinkTier::Rack => LatencyClass::TierRack,
+            mgs_net::LinkTier::Datacenter => LatencyClass::TierDatacenter,
+            mgs_net::LinkTier::Wan => LatencyClass::TierWan,
+        }
+    }
 
     /// Number of classes.
     pub const COUNT: usize = LatencyClass::ALL.len();
@@ -214,6 +249,10 @@ impl LatencyClass {
             LatencyClass::LockWait => "lock_wait",
             LatencyClass::BarrierWait => "barrier_wait",
             LatencyClass::RetryBackoff => "retry_backoff",
+            LatencyClass::TierLan => "tier_lan",
+            LatencyClass::TierRack => "tier_rack",
+            LatencyClass::TierDatacenter => "tier_datacenter",
+            LatencyClass::TierWan => "tier_wan",
         }
     }
 }

@@ -186,6 +186,9 @@ impl SharingProfiler {
                 p.reader_mask |= 1 << (ssmp as u64 & 63);
             }),
             ObsEvent::Pinv { page, .. } => self.with_page(page, |p| p.pinvs += 1),
+            // Churn is machine-level, not page-level; the registry's
+            // churn counters and the trace carry it.
+            ObsEvent::Churn { .. } => {}
         }
     }
 

@@ -1260,6 +1260,160 @@ impl MgsProtocol {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Churn (scenario engine): SSMP departure and rejoin
+    // ------------------------------------------------------------------
+
+    /// Every instantiated page, in page order (deterministic iteration
+    /// for the churn drains below).
+    fn instantiated_pages(&self) -> Vec<(u64, Arc<PageEntry>)> {
+        let mut pages: Vec<(u64, Arc<PageEntry>)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock();
+            pages.extend(map.iter().map(|(p, e)| (*p, Arc::clone(e))));
+        }
+        pages.sort_unstable_by_key(|(p, _)| *p);
+        pages
+    }
+
+    /// Invalidates `ssmp`'s copy of a page (if any) and clears its
+    /// directory bits, under the held server lock. Returns whether a
+    /// live copy was dropped.
+    fn evict_copy(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<bool, ProtocolError> {
+        let had_copy = server.dirs.all() & (1 << ssmp) != 0;
+        if had_copy {
+            let is_writer = server.dirs.write_dir & (1 << ssmp) != 0;
+            self.invalidate_client(entry, server, ssmp, page, is_writer, t)?;
+            server.dirs.read_dir &= !(1 << ssmp);
+            server.dirs.write_dir &= !(1 << ssmp);
+        }
+        Ok(had_copy)
+    }
+
+    /// Drains SSMP `ssmp` out of the machine ahead of a churn
+    /// departure: every page copy it holds is invalidated back to its
+    /// home (writers merge their diffs first, so no update is lost),
+    /// and every page *homed* there is re-homed to `new_home_node`'s
+    /// SSMP — the home copy travels as one page-sized transfer over the
+    /// still-up link, and the page's home override is repointed so
+    /// later faults and releases are served by the survivor.
+    ///
+    /// Must run **before** the departing SSMP's link goes down (the
+    /// drain itself uses the reliable transport). Pages never touched
+    /// before the departure are not re-homed: a fault on one during the
+    /// outage stalls in retry and rides it out, which the retry budget
+    /// must cover. Returns the number of re-homed pages.
+    ///
+    /// Survivor invariant: if the new home SSMP already holds a copy of
+    /// a re-homed page, that copy is evicted (merging its diff) before
+    /// the transfer — at-home clients must map the home frame itself,
+    /// and a kept separate frame would shadow it.
+    pub fn depart_ssmp(
+        &self,
+        ssmp: usize,
+        new_home_node: usize,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<u64, ProtocolError> {
+        let new_ssmp = self.cfg.ssmp_of(new_home_node);
+        assert_ne!(new_ssmp, ssmp, "survivor must be a different SSMP");
+        let cost = &self.cfg.cost;
+        let words = self.cfg.geometry.words_per_page();
+        let mut rehomed = 0u64;
+
+        for (page, entry) in self.instantiated_pages() {
+            let mut server = entry.server.lock();
+            let old_home_node = self.home_node(page);
+            let old_home_ssmp = self.cfg.ssmp_of(old_home_node);
+
+            // Drop the departing SSMP's own copy (merging any updates
+            // into the home copy — which may be its own frame when the
+            // page is homed here).
+            self.evict_copy(&entry, &mut server, ssmp, page, t)?;
+
+            if old_home_ssmp != ssmp {
+                continue;
+            }
+
+            // Re-home: the survivor must not keep a shadow copy (see
+            // the survivor invariant above).
+            self.evict_copy(&entry, &mut server, new_ssmp, page, t)?;
+
+            // Gather a coherent image of the home copy (§4.2.4 page
+            // cleaning) and ship it whole, like a 1WDATA flush.
+            let clean = self.caches[ssmp]
+                .directory()
+                .clean_page(server.home_frame.lines());
+            t.node_work(old_home_node, SsmpCacheSystem::clean_cost(clean, cost));
+            let mut data = self.twin_pools[ssmp].acquire();
+            server.home_frame.snapshot_into(&mut data);
+            t.node_work(old_home_node, cost.page_dma_cost(words));
+            self.reliable(
+                t,
+                ssmp,
+                new_ssmp,
+                MsgKind::OneWData,
+                self.cfg.geometry.page_bytes(),
+                page,
+            )?;
+            let frame = self.frames.alloc(new_home_node);
+            frame.fill(&data);
+            t.node_work(new_home_node, cost.page_dma_cost(words));
+            server.home_frame = frame;
+            // Remote writers keep their twins: a twin snapshots the
+            // home content at fetch time, and the new home frame holds
+            // exactly that content (plus merged releases), so later
+            // diffs apply unchanged.
+            self.home_overrides.lock().insert(page, new_home_node);
+            rehomed += 1;
+        }
+        Ok(rehomed)
+    }
+
+    /// Reconstructs directory state for SSMP `ssmp` after a churn
+    /// rejoin: any copy it still holds is evicted (a fault completed in
+    /// the window between the departure drain and link-down; its
+    /// updates merge home here), and any *stale* sharer entry — a
+    /// directory bit with no live copy behind it — is repaired. The
+    /// rejoined SSMP starts cold: its next access to any page takes the
+    /// ordinary fill path.
+    ///
+    /// Must run **after** the link is back up (evictions use the
+    /// reliable transport). Returns `(evicted, repaired)`: live copies
+    /// dropped and stale directory bits cleared. A fault-free drain
+    /// leaves both at 0 for every page departed cleanly, so the churn
+    /// property tests assert `repaired == 0`.
+    pub fn rejoin_ssmp(
+        &self,
+        ssmp: usize,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(u64, u64), ProtocolError> {
+        let mut evicted = 0u64;
+        let mut repaired = 0u64;
+        for (page, entry) in self.instantiated_pages() {
+            let mut server = entry.server.lock();
+            if server.dirs.all() & (1 << ssmp) == 0 {
+                continue;
+            }
+            let live = entry.clients[ssmp].0.lock().state != ClientState::Inv;
+            if live {
+                self.evict_copy(&entry, &mut server, ssmp, page, t)?;
+                evicted += 1;
+            } else {
+                server.dirs.read_dir &= !(1 << ssmp);
+                server.dirs.write_dir &= !(1 << ssmp);
+                repaired += 1;
+            }
+        }
+        Ok((evicted, repaired))
+    }
+
     /// PINV fan-out: invalidate the TLB entry of every mapping processor
     /// and prune the page from their DUQs (arcs 11, 12, 15).
     fn shoot_down(

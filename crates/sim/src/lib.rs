@@ -39,7 +39,7 @@
 //! assert_eq!(clock.account().get(CostCategory::User), Cycles(100));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod account;

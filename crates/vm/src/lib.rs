@@ -29,7 +29,7 @@
 //!   shared objects, tagged with the [`AccessKind`] that determines the
 //!   inline-translation cost (distributed array vs. pointer).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;
