@@ -29,7 +29,9 @@ use mgs_bench::cli::Options;
 use mgs_bench::json::JsonObject;
 use mgs_bench::parallel::{run_weighted, WorkerBudget};
 use mgs_bench::suite;
-use mgs_core::{AccessKind, CostCategory, DssmpConfig, FaultPlan, Machine, RunReport};
+use mgs_core::{
+    AccessKind, CostCategory, DssmpConfig, FaultPlan, Machine, ProtocolKind, RunReport,
+};
 use mgs_sim::Cycles;
 
 /// Seed of every fault schedule in this harness ("CHAOS").
@@ -52,8 +54,10 @@ const RING_WORDS: u64 = 512;
 /// resource is ever contended and the cycle accounting is a pure
 /// function of the configuration (the envelope `tests/determinism.rs`
 /// establishes).
-fn run_ring(cluster_size: usize, plan: FaultPlan) -> RunReport {
-    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size).with_faults(plan);
+fn run_ring(cluster_size: usize, plan: FaultPlan, protocol: ProtocolKind) -> RunReport {
+    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size)
+        .with_protocol(protocol)
+        .with_faults(plan);
     cfg.governor_window = None;
     let machine = Machine::new(cfg);
     let arr =
@@ -118,18 +122,26 @@ fn equivalence_record(name: &str, c: usize, r: &RunReport) -> JsonObject {
 
 /// The asserted section: drop-0 plans and duplicate storms must not
 /// move a single simulated cycle.
-fn run_equivalence() -> Vec<JsonObject> {
+fn run_equivalence(protocol: ProtocolKind) -> Vec<JsonObject> {
     let mut records = Vec::new();
     for c in [1, 2, 4] {
-        let baseline = run_ring(c, FaultPlan::none());
+        let baseline = run_ring(c, FaultPlan::none(), protocol);
         assert!(baseline.lan_messages > 0, "ring must cross SSMPs at C={c}");
 
-        let zero = run_ring(c, FaultPlan::uniform(SEED, 0.0, 0.0, Cycles::ZERO));
+        let zero = run_ring(
+            c,
+            FaultPlan::uniform(SEED, 0.0, 0.0, Cycles::ZERO),
+            protocol,
+        );
         assert_identical(&baseline, &zero, &format!("drop-0 plan C={c}"));
         assert_eq!(zero.lan_drops + zero.lan_duplicates + zero.retries, 0);
         records.push(equivalence_record("ring/drop0", c, &zero));
 
-        let storm = run_ring(c, FaultPlan::uniform(SEED, 0.0, 1.0, Cycles::ZERO));
+        let storm = run_ring(
+            c,
+            FaultPlan::uniform(SEED, 0.0, 1.0, Cycles::ZERO),
+            protocol,
+        );
         assert_identical(&baseline, &storm, &format!("duplicate storm C={c}"));
         assert!(
             storm.lan_duplicates >= storm.lan_messages,
@@ -214,11 +226,12 @@ fn main() {
     let base = suite::base_config(&opts);
 
     println!(
-        "chaos: protocol recovery on an unreliable LAN (P = {})",
-        opts.p
+        "chaos: protocol recovery on an unreliable LAN (P = {}, {} protocol)",
+        opts.p,
+        opts.protocol.label()
     );
     println!("\nequivalence (deterministic ring, asserted cycle-exact):");
-    let equivalence = run_equivalence();
+    let equivalence = run_equivalence(opts.protocol);
 
     // The six applications of the acceptance criteria: the suite plus
     // the (unmodified) Water kernel.
@@ -324,6 +337,7 @@ fn main() {
         .num("jitter_cycles", JITTER.raw() as f64)
         .array("equivalence", equivalence)
         .array("sweep", sweep_records);
+    mgs_bench::provenance::stamp_run(&mut root, &opts);
     let path = "BENCH_chaos.json";
     std::fs::write(path, root.render(0) + "\n").expect("write BENCH_chaos.json");
     println!("\nwrote {path}: every run recovered to the fault-free result");

@@ -31,9 +31,10 @@ fn main() {
     let sweeps = parallel_sweeps(&base, &apps, opts.reps, opts.jobs);
     for (app, points) in apps.iter().zip(sweeps) {
         println!(
-            "\n=== {} (P = {}, 1 KB pages, 1000-cycle LAN) ===",
+            "\n=== {} (P = {}, 1 KB pages, 1000-cycle LAN, {} protocol) ===",
             app.name(),
-            opts.p
+            opts.p,
+            opts.protocol.label()
         );
         let bars: Vec<_> = points
             .iter()

@@ -31,8 +31,8 @@ use mgs_bench::parallel::{run_weighted, WorkerBudget};
 use mgs_bench::suite;
 use mgs_core::framework::{metrics, SweepPoint};
 use mgs_core::{
-    AccessKind, ChurnEvent, CostCategory, DssmpConfig, FixedScenario, LinkTier, Machine, RunReport,
-    Scenario, TieredScenario,
+    AccessKind, ChurnEvent, CostCategory, DssmpConfig, FixedScenario, LinkTier, Machine,
+    ProtocolKind, RunReport, Scenario, TieredScenario,
 };
 use mgs_sim::Cycles;
 use std::sync::Arc;
@@ -64,8 +64,12 @@ fn tier_latency(tier: LinkTier) -> Cycles {
 /// The deterministic ring of the chaos harness: one active processor
 /// per barrier phase, so the cycle accounting is a pure function of the
 /// configuration.
-fn run_ring(cluster_size: usize, scenario: Option<Arc<dyn Scenario>>) -> RunReport {
-    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size);
+fn run_ring(
+    cluster_size: usize,
+    scenario: Option<Arc<dyn Scenario>>,
+    protocol: ProtocolKind,
+) -> RunReport {
+    let mut cfg = DssmpConfig::new(RING_PROCS, cluster_size).with_protocol(protocol);
     cfg.governor_window = None;
     if let Some(s) = scenario {
         cfg = cfg.with_scenario(s);
@@ -110,13 +114,17 @@ fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
 }
 
 /// The asserted section: the trivial scenario must not move a cycle.
-fn run_equivalence() -> Vec<JsonObject> {
+fn run_equivalence(protocol: ProtocolKind) -> Vec<JsonObject> {
     let mut records = Vec::new();
     for c in [1, 2, 4] {
-        let legacy = run_ring(c, None);
+        let legacy = run_ring(c, None, protocol);
         assert!(legacy.lan_messages > 0, "ring must cross SSMPs at C={c}");
 
-        let fixed = run_ring(c, Some(Arc::new(FixedScenario::new(Cycles(1000)))));
+        let fixed = run_ring(
+            c,
+            Some(Arc::new(FixedScenario::new(Cycles(1000)))),
+            protocol,
+        );
         assert_identical(&legacy, &fixed, &format!("fixed scenario C={c}"));
 
         let uniform = run_ring(
@@ -125,6 +133,7 @@ fn run_equivalence() -> Vec<JsonObject> {
                 LinkTier::Lan,
                 Cycles(1000),
             ))),
+            protocol,
         );
         assert_identical(&legacy, &uniform, &format!("uniform-lan C={c}"));
 
@@ -146,7 +155,7 @@ fn run_equivalence() -> Vec<JsonObject> {
 /// The contention section: per-endpoint interface serialization must
 /// dilate (or at worst equal) the infinite-bandwidth model, without
 /// changing the message count.
-fn run_contention() -> Vec<JsonObject> {
+fn run_contention(protocol: ProtocolKind) -> Vec<JsonObject> {
     let mut records = Vec::new();
     for c in [1, 2] {
         let free = run_ring(
@@ -155,6 +164,7 @@ fn run_contention() -> Vec<JsonObject> {
                 LinkTier::Lan,
                 Cycles(1000),
             ))),
+            protocol,
         );
         let contended = run_ring(
             c,
@@ -162,6 +172,7 @@ fn run_contention() -> Vec<JsonObject> {
                 TieredScenario::uniform(LinkTier::Lan, Cycles(1000))
                     .with_interface_contention(IFACE_SERVICE),
             )),
+            protocol,
         );
         assert!(
             contended.duration.raw() >= free.duration.raw(),
@@ -227,9 +238,9 @@ fn run_tier_sweep(base: &DssmpConfig, app: &dyn MgsApp, tier: LinkTier) -> TierP
 /// block and reads its successor's each round, then cools down in
 /// lockstep past the rejoin. Returns the report and whether the final
 /// home-copy image matched the closed-form expectation.
-fn run_grid(p: usize, churn: bool) -> (RunReport, u64, bool) {
+fn run_grid(p: usize, churn: bool, protocol: ProtocolKind) -> (RunReport, u64, bool) {
     let cluster = (p / 2).max(1);
-    let mut cfg = DssmpConfig::new(p, cluster);
+    let mut cfg = DssmpConfig::new(p, cluster).with_protocol(protocol);
     cfg.governor_window = None;
     if churn {
         let scenario =
@@ -275,10 +286,10 @@ fn run_grid(p: usize, churn: bool) -> (RunReport, u64, bool) {
     (report, machine.churn_repaired(), verified)
 }
 
-fn run_churn_section(p: usize) -> Vec<JsonObject> {
-    let (baseline, _, base_ok) = run_grid(p, false);
+fn run_churn_section(p: usize, protocol: ProtocolKind) -> Vec<JsonObject> {
+    let (baseline, _, base_ok) = run_grid(p, false, protocol);
     assert!(base_ok, "churn-free grid must verify");
-    let (churned, repaired, churn_ok) = run_grid(p, true);
+    let (churned, repaired, churn_ok) = run_grid(p, true, protocol);
     assert!(churn_ok, "churned grid must converge to fault-free image");
     assert_eq!(churned.churn_departs, 1, "departure applied");
     assert_eq!(churned.churn_rejoins, 1, "rejoin applied");
@@ -310,19 +321,20 @@ fn main() {
     let base = suite::base_config(&opts);
 
     println!(
-        "scenario: latency tiers, contention and churn (P = {}{})",
+        "scenario: latency tiers, contention and churn (P = {}, {} protocol{})",
         opts.p,
+        opts.protocol.label(),
         if smoke { ", smoke" } else { "" }
     );
 
     println!("\nequivalence (deterministic ring, asserted cycle-exact):");
-    let equivalence = run_equivalence();
+    let equivalence = run_equivalence(opts.protocol);
 
     println!("\ncontention (per-endpoint interface serialization):");
-    let contention = run_contention();
+    let contention = run_contention(opts.protocol);
 
     println!("\nchurn (SSMP departure + rejoin, verified convergence):");
-    let churn = run_churn_section(if smoke { 4 } else { opts.p.min(8) });
+    let churn = run_churn_section(if smoke { 4 } else { opts.p.min(8) }, opts.protocol);
 
     let tiers: &[LinkTier] = if smoke {
         &[LinkTier::Rack, LinkTier::Wan]
@@ -397,6 +409,7 @@ fn main() {
         .array("contention", contention)
         .array("churn", churn)
         .array("tiers", tier_records);
+    mgs_bench::provenance::stamp_run(&mut root, &opts);
     let path = "BENCH_scenario.json";
     std::fs::write(path, root.render(0) + "\n").expect("write BENCH_scenario.json");
     println!("\nwrote {path}: breakup penalty charted against link tier");

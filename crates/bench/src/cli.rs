@@ -1,5 +1,7 @@
 //! Minimal command-line parsing for the harness binaries.
 
+use mgs_core::ProtocolKind;
+
 /// Common options shared by the harness binaries.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -14,6 +16,9 @@ pub struct Options {
     /// `None` = the host's available parallelism. Each sweep point
     /// costs its machine's `P` threads against this budget.
     pub jobs: Option<usize>,
+    /// Coherence strategy the sweeps run under (`--protocol
+    /// {eager,lrc,adaptive}`; default eager — the paper's protocol).
+    pub protocol: ProtocolKind,
     /// Positional arguments (e.g. an application name).
     pub args: Vec<String>,
 }
@@ -35,6 +40,7 @@ impl Options {
             scale: 1,
             reps: 1,
             jobs: None,
+            protocol: ProtocolKind::Eager,
             args: Vec::new(),
         };
         let mut it = iter.into_iter();
@@ -65,6 +71,13 @@ impl Options {
                             .and_then(|v| v.parse().ok())
                             .expect("--jobs needs an integer"),
                     );
+                }
+                "--protocol" => {
+                    opts.protocol = it
+                        .next()
+                        .as_deref()
+                        .and_then(ProtocolKind::parse)
+                        .expect("--protocol needs one of: eager, lrc, adaptive");
                 }
                 other => opts.args.push(other.to_string()),
             }
@@ -109,6 +122,29 @@ mod tests {
     #[test]
     fn quick_sets_scale() {
         assert_eq!(parse(&["--quick"]).scale, 8);
+    }
+
+    #[test]
+    fn protocol_parses_all_strategies() {
+        assert_eq!(parse(&[]).protocol, ProtocolKind::Eager);
+        assert_eq!(
+            parse(&["--protocol", "eager"]).protocol,
+            ProtocolKind::Eager
+        );
+        assert_eq!(
+            parse(&["--protocol", "lrc"]).protocol,
+            ProtocolKind::HomeLrc
+        );
+        assert_eq!(
+            parse(&["--protocol", "adaptive"]).protocol,
+            ProtocolKind::Adaptive
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eager, lrc, adaptive")]
+    fn rejects_unknown_protocol() {
+        parse(&["--protocol", "msi"]);
     }
 
     #[test]

@@ -233,6 +233,7 @@ mod tests {
                 churn_rejoins: 0,
                 rehomed_pages: 0,
                 metrics: None,
+                policy_decisions: Vec::new(),
             },
             lock_hit_ratio: 0.5,
         }

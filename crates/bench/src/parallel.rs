@@ -77,14 +77,28 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    /// Returns a job's permits even if the job panics: without this, a
+    /// panicking job would strand its weight and the submission loop
+    /// would block forever in `acquire` instead of letting the scope
+    /// propagate the panic.
+    struct Permits<'a> {
+        budget: &'a WorkerBudget,
+        w: usize,
+    }
+    impl Drop for Permits<'_> {
+        fn drop(&mut self) {
+            self.budget.release(self.w);
+        }
+    }
+
     let mut results: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for (slot, (weight, job)) in results.iter().zip(jobs) {
             let w = budget.acquire(weight);
             scope.spawn(move || {
+                let _permits = Permits { budget, w };
                 let out = job();
                 *slot.lock() = Some(out);
-                budget.release(w);
             });
         }
     });

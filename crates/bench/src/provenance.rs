@@ -7,6 +7,7 @@
 //! every root object with [`stamp`] so trajectory comparisons stay
 //! interpretable.
 
+use crate::cli::Options;
 use crate::json::JsonObject;
 
 /// The host's available parallelism (1 if it cannot be determined) —
@@ -36,6 +37,16 @@ pub fn stamp(root: &mut JsonObject) {
     root.str("spin_policy", spin_policy_label());
 }
 
+/// Stamps `root` with the host provenance fields *and* the run
+/// configuration that changes what the numbers mean: the coherence
+/// strategy the sweep ran under. Sweep binaries that honor
+/// `--protocol` must use this so a `BENCH_*.json` produced under
+/// `lrc` or `adaptive` is never mistaken for an eager-protocol record.
+pub fn stamp_run(root: &mut JsonObject, opts: &Options) {
+    stamp(root);
+    root.str("protocol", opts.protocol.label());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +58,15 @@ mod tests {
         let s = o.render(0);
         assert!(s.contains("\"host_parallelism\""));
         assert!(s.contains("\"spin_policy\""));
+    }
+
+    #[test]
+    fn stamp_run_records_the_protocol() {
+        let opts = Options::parse_from(["--protocol", "adaptive"].iter().map(|s| s.to_string()));
+        let mut o = JsonObject::new();
+        stamp_run(&mut o, &opts);
+        let s = o.render(0);
+        assert!(s.contains("\"protocol\": \"adaptive\""));
+        assert!(s.contains("\"host_parallelism\""));
     }
 }

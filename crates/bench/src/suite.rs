@@ -112,9 +112,9 @@ pub fn kernels(opts: &Options) -> [(WaterKernel, PaperNumbers); 2] {
 
 /// Base machine configuration from the command-line options: the
 /// paper's defaults (1 KB pages, 1000-cycle external latency) with the
-/// requested processor count.
+/// requested processor count and coherence strategy.
 pub fn base_config(opts: &Options) -> DssmpConfig {
-    DssmpConfig::new(opts.p, 1)
+    DssmpConfig::new(opts.p, 1).with_protocol(opts.protocol)
 }
 
 /// Looks an application up by harness name.
@@ -144,6 +144,7 @@ mod tests {
             scale,
             reps: 1,
             jobs: None,
+            protocol: mgs_core::ProtocolKind::Eager,
             args: vec![],
         }
     }

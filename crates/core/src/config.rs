@@ -1,7 +1,7 @@
 //! DSSMP machine configuration.
 
 use mgs_net::{FaultPlan, Scenario};
-use mgs_proto::RetryPolicy;
+use mgs_proto::{AdaptiveParams, ProtocolKind, RetryPolicy};
 use mgs_sim::{CostModel, Cycles, SpinPolicy};
 use mgs_vm::PageGeometry;
 use std::sync::Arc;
@@ -88,6 +88,17 @@ pub struct DssmpConfig {
     /// at releases, copies dropped at the reader's next acquire point
     /// (extension; off by default — MGS is eager, §3.1.1).
     pub lazy_read_invalidation: bool,
+    /// Which coherence strategy resolves per-page policies:
+    /// [`ProtocolKind::Eager`] (the paper's protocol, the default,
+    /// bit-identical to the pre-strategy code),
+    /// [`ProtocolKind::HomeLrc`] (home-based lazy release consistency
+    /// for every page) or [`ProtocolKind::Adaptive`] (profile-driven
+    /// per-page policies; forces the observability sink on — the
+    /// controller classifies from the sharing profiler).
+    pub protocol: ProtocolKind,
+    /// Thresholds and pacing of the adaptive-grain controller (only
+    /// consulted under [`ProtocolKind::Adaptive`]).
+    pub adaptive: AdaptiveParams,
     /// Simulated-clock skew bound between processor threads; `None`
     /// disables the governor. Small windows keep contended resources
     /// (locks, work queues) granted in near-simulated-time order, at
@@ -183,6 +194,8 @@ impl DssmpConfig {
             single_writer_opt: true,
             readonly_clean_opt: false,
             lazy_read_invalidation: false,
+            protocol: ProtocolKind::Eager,
+            adaptive: AdaptiveParams::default(),
             governor_window: Some(Cycles(2_000)),
             governor_impl: GovernorImpl::default(),
             engine: ExecutionEngine::default(),
@@ -241,6 +254,13 @@ impl DssmpConfig {
     /// profiler).
     pub fn with_observability(mut self) -> DssmpConfig {
         self.observe = true;
+        self
+    }
+
+    /// Selects the coherence strategy (see
+    /// [`protocol`](DssmpConfig::protocol)).
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> DssmpConfig {
+        self.protocol = protocol;
         self
     }
 

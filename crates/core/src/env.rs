@@ -6,7 +6,7 @@ use crate::runtime::RuntimeTiming;
 use crate::Machine;
 use mgs_cache::{CacheConfig, ProcCache};
 use mgs_obs::{LatencyClass, Metric, ObsSink};
-use mgs_proto::MgsProtocol;
+use mgs_proto::{MgsProtocol, PagePolicy};
 use mgs_sim::{
     CostCategory, CostModel, CycleAccount, Cycles, GovHook, ProcClock, TimeGovernor, XorShift64,
 };
@@ -196,7 +196,16 @@ pub struct Env {
     /// Purely a host-side optimization: simulated cycle charges are
     /// identical, though the shared TLB's host-side hit counters no
     /// longer see the cached lookups.
-    xlate_cache: Vec<Option<(u64, TlbEntry)>>,
+    ///
+    /// Each slot also caches the page's coherence policy, refreshed on
+    /// every slow-path translation, so policy inspection on the access
+    /// path is a free tuple read — no strategy-table lookup and, when
+    /// the adaptive controller is off, zero added cost of any kind.
+    xlate_cache: Vec<Option<(u64, TlbEntry, PagePolicy)>>,
+    /// Whether the protocol posts write notices (lazy read invalidation
+    /// or an LRC-flavored strategy), hoisted because it is constant for
+    /// the machine's lifetime and gates every acquire point.
+    uses_notices: bool,
     /// The machine's observability sink, hoisted so the per-access
     /// counting path is a null check plus a relaxed atomic increment
     /// into this processor's shard — no locks, no allocation, and no
@@ -231,6 +240,7 @@ impl Env {
             .unwrap_or(Cycles::MAX);
         let gov = machine.governor().cloned();
         let proto = Arc::clone(machine.protocol());
+        let uses_notices = proto.uses_notices();
         let geometry = cfg.geometry;
         let cluster_size = cfg.cluster_size;
         let cost = cfg.cost.clone();
@@ -253,6 +263,7 @@ impl Env {
             cluster_size,
             cost,
             xlate_cache: (0..XLATE_SLOTS).map(|_| None).collect(),
+            uses_notices,
             obs,
             churn,
         }
@@ -346,7 +357,7 @@ impl Env {
         // page match and sufficient privilege.
         let slot = (page as usize) & (XLATE_SLOTS - 1);
         let mut entry = match &self.xlate_cache[slot] {
-            Some((p, e)) if *p == page && (e.writable || !write) => e.clone(),
+            Some((p, e, _)) if *p == page && (e.writable || !write) => e.clone(),
             _ => self.translate_slow(page, write),
         };
         // Perform the access under the frame's guard, re-validating the
@@ -402,8 +413,24 @@ impl Env {
             Some(e) => e,
             None => self.fault(page, write),
         };
-        self.xlate_cache[(page as usize) & (XLATE_SLOTS - 1)] = Some((page, entry.clone()));
+        let policy = self.proto.policy(page);
+        self.xlate_cache[(page as usize) & (XLATE_SLOTS - 1)] = Some((page, entry.clone(), policy));
         entry
+    }
+
+    /// The coherence policy currently governing the page holding `va`,
+    /// read from the Env-local translation cache when possible. Policy
+    /// only changes at protocol slow paths, and every policy change is
+    /// accompanied by a mapping revocation (or takes effect lazily at
+    /// the next release), so a cached value is as fresh as the mapping
+    /// itself. Host-side only: consults no locks on the cached path and
+    /// charges no simulated cycles.
+    pub fn page_policy(&self, va: u64) -> PagePolicy {
+        let page = self.geometry.page_of(va);
+        match &self.xlate_cache[(page as usize) & (XLATE_SLOTS - 1)] {
+            Some((p, _, policy)) if *p == page => *policy,
+            _ => self.proto.policy(page),
+        }
     }
 
     fn fault(&mut self, page: u64, write: bool) -> TlbEntry {
@@ -431,6 +458,7 @@ impl Env {
             return entry;
         }
         self.maybe_churn();
+        self.maybe_adapt();
         let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
         self.proto.fault(self.proc, page, write, &mut timing)
     }
@@ -444,6 +472,7 @@ impl Env {
     pub fn acquire(&mut self, lock: &MgsLock) {
         self.maybe_tick();
         self.maybe_churn();
+        self.maybe_adapt();
         let requested = self.clock.now();
         let (granted, hit) = lock.acquire_gov(self.ssmp, requested, self.gov_hook());
         if let Some(obs) = &self.obs {
@@ -506,6 +535,7 @@ impl Env {
         self.flush();
         self.maybe_tick();
         self.maybe_churn();
+        self.maybe_adapt();
         let arrived = self.clock.now();
         let released = self
             .machine
@@ -532,6 +562,7 @@ impl Env {
     pub fn barrier_sync_only(&mut self) {
         self.maybe_tick();
         self.maybe_churn();
+        self.maybe_adapt();
         let arrived = self.clock.now();
         let released = self
             .machine
@@ -548,10 +579,11 @@ impl Env {
         self.clock.advance_to(CostCategory::Barrier, released);
     }
 
-    /// Acquire-side coherence (a no-op except under lazy read
-    /// invalidation): drop stale read copies noticed by releases.
+    /// Acquire-side coherence (a no-op unless the protocol posts write
+    /// notices — lazy read invalidation or a home-based LRC strategy):
+    /// drop stale copies noticed by releases.
     fn acquire_sync(&mut self) {
-        if self.null_mgs || !self.machine.config().lazy_read_invalidation {
+        if self.null_mgs || !self.uses_notices {
             return;
         }
         let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
@@ -585,6 +617,24 @@ impl Env {
         let churn = Arc::clone(churn);
         let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
         churn.apply(&self.machine, &mut timing);
+    }
+
+    /// Polls the adaptive-grain controller at the same safe poll points
+    /// as [`maybe_churn`](Env::maybe_churn). The due check is a relaxed
+    /// atomic load (and constant-false under the static strategies); the
+    /// winning processor reads the sharing profiler's cumulative
+    /// counters and installs any per-page policy changes. Host-side
+    /// only: classification charges no simulated cycles, and installed
+    /// policies take effect at the next protocol slow path.
+    fn maybe_adapt(&mut self) {
+        if !self.proto.adapt_due(self.clock.now()) {
+            return;
+        }
+        let Some(obs) = &self.obs else { return };
+        let obs = Arc::clone(obs);
+        let now = self.clock.now();
+        let mut timing = RuntimeTiming::new(&mut self.clock, &self.machine, self.proc);
+        self.proto.adapt(&obs.profiler, now, &mut timing);
     }
 
     fn maybe_tick(&mut self) {

@@ -68,7 +68,9 @@ pub use mgs_obs::{
     GovernorWaitReport, HistSummary, LatencyClass, Metric, MetricsReport, ObsSink, PageProfile,
     SharingReport, XactKind, XactOutcome,
 };
-pub use mgs_proto::{ProtocolError, RetryPolicy};
+pub use mgs_proto::{
+    AdaptiveParams, PagePolicy, PolicyDecision, ProtocolError, ProtocolKind, RetryPolicy,
+};
 pub use mgs_sim::{
     CostCategory, CostModel, CycleAccount, Cycles, GovWaitSnapshot, GovWaitStats, SpinPolicy,
 };

@@ -8,7 +8,7 @@ use crate::{DssmpConfig, ExecutionEngine, GovernorImpl};
 use mgs_net::LanModel;
 use mgs_obs::ObsSink;
 use mgs_proto::{MgsProtocol, ProtoConfig, ProtoStats};
-use mgs_sim::{EpochGate, GovWaitSnapshot, Occupancy, TimeGovernor};
+use mgs_sim::{Cycles, EpochGate, GovWaitSnapshot, Occupancy, TimeGovernor};
 use mgs_sync::{HwLock, MgsBarrier, MgsLock};
 use mgs_vm::{AccessKind, SharedHeap};
 use parking_lot::Mutex;
@@ -46,13 +46,22 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration.
-    pub fn new(cfg: DssmpConfig) -> Arc<Machine> {
+    pub fn new(mut cfg: DssmpConfig) -> Arc<Machine> {
+        if cfg.protocol == mgs_proto::ProtocolKind::Adaptive {
+            // The adaptive-grain controller classifies pages from the
+            // sharing profiler, so the sink must exist. Forcing it on
+            // costs nothing simulated (the zero-perturbation
+            // invariant).
+            cfg.observe = true;
+        }
         let mut pcfg = ProtoConfig::new(cfg.n_ssmps(), cfg.cluster_size);
         pcfg.geometry = cfg.geometry;
         pcfg.cost = cfg.cost.clone();
         pcfg.single_writer_opt = cfg.single_writer_opt;
         pcfg.readonly_clean_opt = cfg.readonly_clean_opt;
         pcfg.lazy_read_invalidation = cfg.lazy_read_invalidation;
+        pcfg.protocol = cfg.protocol;
+        pcfg.adaptive = cfg.adaptive;
         pcfg.retry = cfg.retry;
         let proto = Arc::new(MgsProtocol::new(pcfg));
         let mut lan =
@@ -398,6 +407,16 @@ impl Machine {
                 results[proc] = Some(h.join().expect("processor thread panicked"));
             }
         });
+        // Post-run reconciliation: flush every page the lazy migratory
+        // release left pinned, so host-side readback (`peek`, result
+        // verification) sees the canonical final memory image. Runs on
+        // a detached recording sink after the simulated clocks are
+        // final — it charges no simulated time and perturbs nothing; a
+        // no-op unless the adaptive controller pinned pages.
+        let mut drain = mgs_proto::RecordingTiming::new(self.cfg.cost.clone(), Cycles::ZERO);
+        self.proto
+            .drain_pinned(&mut drain)
+            .unwrap_or_else(|e| panic!("unrecoverable MGS protocol failure: {e}"));
         RunReport::from_procs(
             results.into_iter().map(|r| r.expect("joined")).collect(),
             self.lock_totals(),
@@ -412,6 +431,7 @@ impl Machine {
             ),
             self.churn.as_ref().map_or((0, 0, 0), |c| c.totals()),
             self.obs.as_ref().map(|o| o.registry.merge()),
+            self.proto.policy_decisions(),
         )
     }
 }

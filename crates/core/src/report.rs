@@ -1,6 +1,7 @@
 //! Run reports: execution time and the four-way runtime breakdown.
 
 use mgs_obs::MetricsReport;
+use mgs_proto::PolicyDecision;
 use mgs_sim::{CostCategory, CycleAccount, Cycles};
 use std::fmt;
 
@@ -61,6 +62,11 @@ pub struct RunReport {
     /// Merged metrics snapshot from the `mgs-obs` registry; present only
     /// when [`DssmpConfig::observe`](crate::DssmpConfig) was enabled.
     pub metrics: Option<MetricsReport>,
+    /// The adaptive-grain controller's policy-decision trace, in
+    /// decision order (empty under the static strategies). At `W=1`
+    /// under the virtual engine the trace is bit-deterministic
+    /// run-to-run.
+    pub policy_decisions: Vec<PolicyDecision>,
 }
 
 impl RunReport {
@@ -71,6 +77,7 @@ impl RunReport {
         fault_totals: (u64, u64, u64),
         churn_totals: (u64, u64, u64),
         metrics: Option<MetricsReport>,
+        policy_decisions: Vec<PolicyDecision>,
     ) -> RunReport {
         let n = results.len().max(1) as u64;
         let duration = results
@@ -118,6 +125,7 @@ impl RunReport {
             churn_rejoins: churn_totals.1,
             rehomed_pages: churn_totals.2,
             metrics,
+            policy_decisions,
         }
     }
 
@@ -176,6 +184,13 @@ impl fmt::Display for RunReport {
                 self.churn_departs, self.churn_rejoins, self.rehomed_pages
             )?;
         }
+        if !self.policy_decisions.is_empty() {
+            write!(
+                f,
+                "\n  adaptive: {} pages reclassified",
+                self.policy_decisions.len()
+            )?;
+        }
         Ok(())
     }
 }
@@ -203,6 +218,7 @@ mod tests {
             (0, 0, 0),
             (0, 0, 0),
             None,
+            Vec::new(),
         );
         assert_eq!(r.duration, Cycles(240));
     }
@@ -216,6 +232,7 @@ mod tests {
             (0, 0, 0),
             (0, 0, 0),
             None,
+            Vec::new(),
         );
         assert_eq!(r.breakdown.get(CostCategory::User), Cycles(75));
     }
@@ -245,6 +262,7 @@ mod tests {
             (0, 0, 0),
             (0, 0, 0),
             None,
+            Vec::new(),
         );
         let grand: u64 = [4 + 3 + 4, 3 + 3 + 5, 5 + 3 + 3, 2 + 3 + 6].iter().sum();
         assert_eq!(r.breakdown.total(), Cycles(grand / 3));
@@ -269,6 +287,7 @@ mod tests {
             (0, 0, 0),
             (0, 0, 0),
             None,
+            Vec::new(),
         );
         assert_eq!(r.lock_hit_ratio(), 1.0);
         let r2 = RunReport::from_procs(
@@ -278,6 +297,7 @@ mod tests {
             (0, 0, 0),
             (0, 0, 0),
             None,
+            Vec::new(),
         );
         assert!((r2.lock_hit_ratio() - 0.4).abs() < 1e-12);
     }
@@ -291,6 +311,7 @@ mod tests {
             (0, 0, 0),
             (0, 0, 0),
             None,
+            Vec::new(),
         );
         let s = r.to_string();
         for label in ["User", "Lock", "Barrier", "MGS"] {

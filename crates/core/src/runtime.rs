@@ -394,6 +394,12 @@ impl ProtoTiming for RuntimeTiming<'_> {
                         ObsEvent::DuqFlush { .. } => Some(Metric::DuqFlushes),
                         ObsEvent::LazyNotice { .. } => Some(Metric::LazyNotices),
                         ObsEvent::Pinv { .. } => Some(Metric::Pinvs),
+                        ObsEvent::UpdatePush { words, .. } => {
+                            obs.registry
+                                .count(self.proc, Metric::UpdatePushWords, words);
+                            Some(Metric::UpdatePushes)
+                        }
+                        ObsEvent::PolicySwitch { .. } => Some(Metric::PolicySwitches),
                         ObsEvent::XactBegin { .. }
                         | ObsEvent::XactEnd { .. }
                         | ObsEvent::Churn { .. } => unreachable!(),

@@ -46,6 +46,10 @@ pub enum MsgKind {
     Inv,
     /// Invalidate single-writer page.
     OneWInv,
+    /// Push a merged diff to a live sharer copy (write-through policy:
+    /// beyond Table 2 — the adaptive-grain controller patches sharer
+    /// copies in place instead of invalidating them).
+    Update,
     // Synchronization library
     /// Lock token transfer between SSMPs.
     LockToken,
@@ -57,7 +61,7 @@ pub enum MsgKind {
 
 impl MsgKind {
     /// All message kinds, for statistics iteration.
-    pub const ALL: [MsgKind; 19] = [
+    pub const ALL: [MsgKind; 20] = [
         MsgKind::Upgrade,
         MsgKind::PInvAck,
         MsgKind::PInv,
@@ -74,6 +78,7 @@ impl MsgKind {
         MsgKind::WNotify,
         MsgKind::Inv,
         MsgKind::OneWInv,
+        MsgKind::Update,
         MsgKind::LockToken,
         MsgKind::BarrierCombine,
         MsgKind::BarrierRelease,
@@ -98,6 +103,7 @@ impl MsgKind {
             MsgKind::WNotify => "WNOTIFY",
             MsgKind::Inv => "INV",
             MsgKind::OneWInv => "1WINV",
+            MsgKind::Update => "UPDATE",
             MsgKind::LockToken => "LOCK_TOKEN",
             MsgKind::BarrierCombine => "BAR_COMBINE",
             MsgKind::BarrierRelease => "BAR_RELEASE",
@@ -108,7 +114,7 @@ impl MsgKind {
     pub fn carries_data(self) -> bool {
         matches!(
             self,
-            MsgKind::RDat | MsgKind::WDat | MsgKind::Diff | MsgKind::OneWData
+            MsgKind::RDat | MsgKind::WDat | MsgKind::Diff | MsgKind::OneWData | MsgKind::Update
         )
     }
 
@@ -139,10 +145,10 @@ impl fmt::Display for MsgKind {
 /// and are counted separately, not in `msgs`.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    msgs: [Counter; 19],
-    bytes: [Counter; 19],
-    dropped: [Counter; 19],
-    duplicated: [Counter; 19],
+    msgs: [Counter; MsgKind::COUNT],
+    bytes: [Counter; MsgKind::COUNT],
+    dropped: [Counter; MsgKind::COUNT],
+    duplicated: [Counter; MsgKind::COUNT],
     jitter: Counter,
 }
 

@@ -7,6 +7,48 @@
 //! machine's structured trace. Every variant is `Copy` and carries only
 //! scalars, so emitting one allocates nothing.
 
+/// The per-page coherence policy a strategy resolved for a page.
+///
+/// Defined here (rather than in `mgs-proto`) because it is part of the
+/// structured event vocabulary — [`ObsEvent::PolicySwitch`] carries it —
+/// and the observability crate sits below the protocol in the
+/// dependency graph. `mgs-proto` re-exports it as the policy type of
+/// its `CoherenceStrategy` trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// The paper's protocol: eager invalidation at release, Munin-style
+    /// twin/diff multi-writer support, single-writer 1WDATA flushes.
+    Eager,
+    /// Home-based lazy release consistency: the releaser flushes its
+    /// diff to the home and posts write notices; sharers drop their
+    /// copies at their next acquire point.
+    HomeLrc,
+    /// Write-through updates: the releaser's diff is pushed to every
+    /// live sharer copy in place (UPDATE messages), so sharers are
+    /// never invalidated — the fine-grain mode for falsely-shared and
+    /// producer/consumer pages.
+    WriteThrough,
+    /// Single-writer pinning with lazy release: the sole writer's
+    /// releases skip the data flush (readers are still invalidated),
+    /// and any fill by another SSMP first evicts the writer — merging
+    /// its diff home — keeping the page in single-writer mode. The
+    /// mode for migratory (lock-protected) pages: lock streaks inside
+    /// one SSMP pay no per-release coherence at all.
+    SingleWriterPin,
+}
+
+impl PagePolicy {
+    /// Snake-case label used in reports, JSON and policy traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            PagePolicy::Eager => "eager",
+            PagePolicy::HomeLrc => "home_lrc",
+            PagePolicy::WriteThrough => "write_through",
+            PagePolicy::SingleWriterPin => "single_writer_pin",
+        }
+    }
+}
+
 /// A protocol transaction class, for span begin/end bracketing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum XactKind {
@@ -157,6 +199,24 @@ pub enum ObsEvent {
         page: u64,
         /// The global processor whose TLB entry was invalidated.
         proc: usize,
+    },
+    /// A merged diff was pushed to a live sharer copy in place
+    /// (write-through policy; the sharer keeps its mapping).
+    UpdatePush {
+        /// The released page.
+        page: u64,
+        /// The sharer SSMP whose copy was patched.
+        ssmp: usize,
+        /// Changed words carried by the push.
+        words: u64,
+    },
+    /// The adaptive-grain controller switched a page's coherence
+    /// policy.
+    PolicySwitch {
+        /// The reclassified page.
+        page: u64,
+        /// The policy now in effect for it.
+        policy: PagePolicy,
     },
     /// An SSMP departed from or rejoined the machine (scenario churn).
     Churn {

@@ -38,7 +38,7 @@ mod metrics;
 mod perfetto;
 mod profiler;
 
-pub use event::{ObsEvent, XactKind, XactOutcome};
+pub use event::{ObsEvent, PagePolicy, XactKind, XactOutcome};
 pub use gov::{GovernorWaitReport, ProcGovWaits};
 pub use metrics::{HistSummary, LatencyClass, Metric, MetricsReport, ObsRegistry};
 pub use perfetto::PerfettoTrace;

@@ -61,6 +61,15 @@ pub enum Metric {
     Pinvs,
     /// Lazy-invalidation write notices posted.
     LazyNotices,
+    /// Merged diffs pushed to live sharer copies (write-through
+    /// policy).
+    UpdatePushes,
+    /// Total changed words carried by those pushes (summed over all
+    /// patched sharers).
+    UpdatePushWords,
+    /// Per-page policy switches performed by the adaptive-grain
+    /// controller.
+    PolicySwitches,
     /// MGS lock acquires satisfied inside the requesting SSMP.
     LockAcquiresLocal,
     /// MGS lock acquires that moved the token between SSMPs.
@@ -87,7 +96,7 @@ pub enum Metric {
 
 impl Metric {
     /// Every metric, in display order.
-    pub const ALL: [Metric; 34] = [
+    pub const ALL: [Metric; 37] = [
         Metric::Loads,
         Metric::Stores,
         Metric::HwHit,
@@ -111,6 +120,9 @@ impl Metric {
         Metric::Invalidations,
         Metric::Pinvs,
         Metric::LazyNotices,
+        Metric::UpdatePushes,
+        Metric::UpdatePushWords,
+        Metric::PolicySwitches,
         Metric::LockAcquiresLocal,
         Metric::LockAcquiresRemote,
         Metric::HwLockAcquires,
@@ -158,6 +170,9 @@ impl Metric {
             Metric::Invalidations => "invalidations",
             Metric::Pinvs => "pinvs",
             Metric::LazyNotices => "lazy_notices",
+            Metric::UpdatePushes => "update_pushes",
+            Metric::UpdatePushWords => "update_push_words",
+            Metric::PolicySwitches => "policy_switches",
             Metric::LockAcquiresLocal => "lock_acquires_local",
             Metric::LockAcquiresRemote => "lock_acquires_remote",
             Metric::HwLockAcquires => "hw_lock_acquires",

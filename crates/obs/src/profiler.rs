@@ -47,6 +47,9 @@ pub struct PageProfile {
     pub single_writer_breaks: u64,
     /// Lazy write notices posted against the page.
     pub lazy_notices: u64,
+    /// Merged diffs pushed to live sharer copies (write-through
+    /// policy).
+    pub update_pushes: u64,
     /// TLB entries shot down for the page.
     pub pinvs: u64,
     /// Bitmask of SSMPs that ever held a read copy.
@@ -88,6 +91,7 @@ impl PageProfile {
             + self.diffs
             + self.single_writer_flushes
             + self.lazy_notices
+            + self.update_pushes
             + self.pinvs
     }
 
@@ -186,6 +190,13 @@ impl SharingProfiler {
                 p.reader_mask |= 1 << (ssmp as u64 & 63);
             }),
             ObsEvent::Pinv { page, .. } => self.with_page(page, |p| p.pinvs += 1),
+            ObsEvent::UpdatePush { page, ssmp, .. } => self.with_page(page, |p| {
+                p.update_pushes += 1;
+                p.reader_mask |= 1 << (ssmp as u64 & 63);
+            }),
+            // Policy switches are controller-level; the registry's
+            // policy_switches counter and the decision trace carry them.
+            ObsEvent::PolicySwitch { .. } => {}
             // Churn is machine-level, not page-level; the registry's
             // churn counters and the trace carry it.
             ObsEvent::Churn { .. } => {}
@@ -195,6 +206,26 @@ impl SharingProfiler {
     /// Number of distinct pages the protocol touched.
     pub fn pages_touched(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Snapshots every touched page in **ascending page order** — the
+    /// deterministic feed the adaptive-grain controller classifies
+    /// from. Never exposes map iteration order: two runs with identical
+    /// protocol histories see identical snapshots, so policy decisions
+    /// (and their trace) are reproducible run-to-run.
+    pub fn snapshot_sorted(&self) -> Vec<(u64, PageProfile)> {
+        let mut pages: Vec<(u64, PageProfile)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        pages.sort_unstable_by_key(|(p, _)| *p);
+        pages
     }
 
     /// Snapshots the `top_n` hottest pages (by [`PageProfile::activity`],
@@ -380,6 +411,25 @@ mod tests {
         assert_eq!(r.pages[0].0, 10);
         assert_eq!(r.pages[1].0, 4);
         assert_eq!(r.pages_touched, 2);
+    }
+
+    #[test]
+    fn snapshot_sorted_is_ascending_and_activity_ties_break_by_page() {
+        // Pages land in different shards and (for the tie pair) carry
+        // identical activity: a map-iteration-order leak would show up
+        // as a nondeterministic snapshot or a flipped tie.
+        let prof = SharingProfiler::new(64);
+        for page in [31, 2, 17, 8] {
+            prof.record(0, &ObsEvent::TwinCreate { page, ssmp: 0 });
+        }
+        let snap = prof.snapshot_sorted();
+        let order: Vec<u64> = snap.iter().map(|(p, _)| *p).collect();
+        assert_eq!(order, vec![2, 8, 17, 31]);
+        // Equal-activity pages in the top-N report keep ascending page
+        // order (the deterministic tie-break).
+        let r = prof.report(8);
+        let top: Vec<u64> = r.pages.iter().map(|(p, _)| *p).collect();
+        assert_eq!(top, vec![2, 8, 17, 31]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Protocol configuration.
 
+use crate::strategy::{AdaptiveParams, ProtocolKind};
 use crate::transport::RetryPolicy;
 use mgs_sim::CostModel;
 use mgs_vm::PageGeometry;
@@ -61,6 +62,13 @@ pub struct ProtoConfig {
     /// such drift. The paper's protocol (eager invalidation, the
     /// default) is unaffected.
     pub lazy_read_invalidation: bool,
+    /// Which coherence strategy resolves per-page policies
+    /// ([`ProtocolKind::Eager`] reproduces the paper's protocol
+    /// bit-identically; see [`crate::CoherenceStrategy`]).
+    pub protocol: ProtocolKind,
+    /// Thresholds and pacing of the adaptive-grain controller (only
+    /// consulted when `protocol` is [`ProtocolKind::Adaptive`]).
+    pub adaptive: AdaptiveParams,
     /// Timeout/retransmission policy used when the fabric is allowed to
     /// drop messages (see [`RetryPolicy`]). Irrelevant — never consulted
     /// — on a perfect fabric, where every transmission is delivered.
@@ -87,6 +95,8 @@ impl ProtoConfig {
             single_writer_opt: true,
             readonly_clean_opt: false,
             lazy_read_invalidation: false,
+            protocol: ProtocolKind::Eager,
+            adaptive: AdaptiveParams::default(),
             retry: RetryPolicy::lan_default(),
         }
     }

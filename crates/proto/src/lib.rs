@@ -52,6 +52,7 @@ mod duq;
 mod protocol;
 mod state;
 mod stats;
+mod strategy;
 mod timing;
 mod transport;
 
@@ -61,5 +62,9 @@ pub use duq::Duq;
 pub use protocol::MgsProtocol;
 pub use state::{ClientState, ServerDirs};
 pub use stats::ProtoStats;
+pub use strategy::{
+    AdaptiveController, AdaptiveParams, CoherenceStrategy, EagerStrategy, HomeLrcStrategy,
+    PagePolicy, PolicyDecision, ProtocolKind, StrategyBox,
+};
 pub use timing::{ProtoTiming, RecordingTiming, TimingEvent};
 pub use transport::{ProtocolError, RetryPolicy, SendOutcome, SeqFilter, Transaction};

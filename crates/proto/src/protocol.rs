@@ -13,11 +13,13 @@
 //! requests): the per-page server mutex serializes whole transactions.
 
 use crate::state::{bits, ClientPage, ClientState, PageEntry, ServerDirs, ServerPage};
+use crate::strategy::{CoherenceStrategy, PagePolicy, PolicyDecision, StrategyBox};
 use crate::transport::{ProtocolError, SendOutcome, SeqFilter, Transaction};
 use crate::{Duq, ProtoConfig, ProtoStats, ProtoTiming, SpanDiff};
 use mgs_cache::SsmpCacheSystem;
 use mgs_net::MsgKind;
-use mgs_obs::{ObsEvent, XactKind, XactOutcome};
+use mgs_obs::{ObsEvent, SharingProfiler, XactKind, XactOutcome};
+use mgs_sim::Cycles;
 use mgs_vm::{FrameAllocator, PageBuf, PageGeometry, PoolStats, Tlb, TlbEntry, TwinPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -108,6 +110,10 @@ pub struct MgsProtocol {
     /// [`diff_scratch_created`](MgsProtocol::diff_scratch_created)).
     diff_scratch_created: AtomicU64,
     stats: ProtoStats,
+    /// The coherence strategy resolving per-page policies (see
+    /// [`crate::CoherenceStrategy`]). Consulted only on protocol slow
+    /// paths — faults, releases, acquire drains — never per access.
+    strategy: StrategyBox,
 }
 
 impl MgsProtocol {
@@ -140,7 +146,9 @@ impl MgsProtocol {
         assert_eq!(duqs.len(), cfg.n_procs(), "one DUQ per processor");
         assert_eq!(caches.len(), cfg.n_ssmps, "one cache system per SSMP");
         let n_ssmps = cfg.n_ssmps;
+        let strategy = StrategyBox::new(cfg.protocol, cfg.adaptive);
         MgsProtocol {
+            strategy,
             frames: FrameAllocator::new(cfg.geometry),
             twin_pools: (0..n_ssmps)
                 .map(|_| TwinPool::new(cfg.geometry.words_per_page() as usize))
@@ -215,6 +223,74 @@ impl MgsProtocol {
     /// Protocol event statistics.
     pub fn stats(&self) -> &ProtoStats {
         &self.stats
+    }
+
+    /// The coherence strategy resolving per-page policies.
+    pub fn strategy(&self) -> &StrategyBox {
+        &self.strategy
+    }
+
+    /// The policy currently in effect for `page`. Host-side only: the
+    /// lookup charges no simulated cycles (for the static strategies it
+    /// folds to a constant).
+    #[inline]
+    pub fn policy(&self, page: u64) -> PagePolicy {
+        self.strategy.policy(page)
+    }
+
+    /// Does any mechanism post write notices that acquire points must
+    /// drain — the legacy `lazy_read_invalidation` flag or a strategy
+    /// that lazily invalidates (home-LRC)?
+    pub fn uses_notices(&self) -> bool {
+        self.cfg.lazy_read_invalidation || self.strategy.uses_notices()
+    }
+
+    /// The adaptive controller's policy-decision trace, in decision
+    /// order (empty for the static strategies).
+    pub fn policy_decisions(&self) -> Vec<PolicyDecision> {
+        self.strategy
+            .controller()
+            .map(|c| c.decisions())
+            .unwrap_or_default()
+    }
+
+    /// Lock-free check whether an adaptive-controller sample is due at
+    /// simulated time `now`. On `true` the caller owns the sample and
+    /// must follow with [`adapt`](MgsProtocol::adapt); always `false`
+    /// for the static strategies.
+    pub fn adapt_due(&self, now: Cycles) -> bool {
+        self.strategy
+            .controller()
+            .is_some_and(|c| c.sample_due(now))
+    }
+
+    /// Runs one adaptive-controller sample: classifies hot pages from
+    /// the sharing profiler's deterministic snapshot and installs any
+    /// policy switches. Host-side only — no simulated cycles are
+    /// charged and no page locks are taken, so sampling cannot perturb
+    /// the simulated execution beyond the policies it installs.
+    /// Transitions are one-way (a page is classified at most once), so
+    /// the decision trace is short and, at `W=1` under the virtual
+    /// engine, fully deterministic.
+    pub fn adapt(&self, profiler: &SharingProfiler, now: Cycles, t: &mut dyn ProtoTiming) {
+        let Some(ctl) = self.strategy.controller() else {
+            return;
+        };
+        for (page, profile) in profiler.snapshot_sorted() {
+            if ctl.policy(page) != PagePolicy::Eager {
+                continue;
+            }
+            if let Some((policy, reason)) = ctl.classify(&profile) {
+                ctl.install(PolicyDecision {
+                    page,
+                    policy,
+                    at: now,
+                    reason,
+                });
+                self.stats.policy_switches.incr();
+                t.observe(ObsEvent::PolicySwitch { page, policy });
+            }
+        }
     }
 
     /// The TLB of global processor `proc`.
@@ -556,14 +632,14 @@ impl MgsProtocol {
         let cost = &self.cfg.cost;
 
         let mut server = entry.server.lock();
-        // Under lazy read invalidation a pending write notice means this
-        // SSMP's READ copy is stale; upgrading it would twin stale data
-        // (and a later single-writer flush would ship the stale page
-        // whole). Drop the copy and take the fill path instead. The
-        // check happens before the client lock: the notice queue is
-        // held across drains, so notices-then-client is the one legal
-        // order.
-        let noticed_stale = self.cfg.lazy_read_invalidation && self.notice_pending(ssmp, page);
+        // Under lazy read invalidation (the legacy flag or the home-LRC
+        // strategy) a pending write notice means this SSMP's READ copy
+        // is stale; upgrading it would twin stale data (and a later
+        // single-writer flush would ship the stale page whole). Drop
+        // the copy and take the fill path instead. The check happens
+        // before the client lock: the notice queue is held across
+        // drains, so notices-then-client is the one legal order.
+        let noticed_stale = self.uses_notices() && self.notice_pending(ssmp, page);
         let (lock, _) = &entry.clients[ssmp];
         let mut client = lock.lock();
         if noticed_stale && client.state == ClientState::Read {
@@ -580,6 +656,39 @@ impl MgsProtocol {
             // The server must stop tracking the dropped copy (the
             // conservative drains-in-flight check can drop a fresh,
             // still-tracked copy).
+            server.dirs.read_dir &= !(1 << ssmp);
+            self.stats.invalidations.incr();
+            t.observe(ObsEvent::Invalidate {
+                page,
+                ssmp,
+                writer: false,
+            });
+        }
+        if client.state == ClientState::Read
+            && server.dirs.write_dir & !(1 << ssmp) != 0
+            && self.policy(page) == PagePolicy::SingleWriterPin
+        {
+            // Single-writer pinning (migratory pages): evict the
+            // current writer before this SSMP gains write privilege,
+            // so the page never leaves single-writer mode. The
+            // eviction merges the departing writer's diff into the
+            // home, which makes this SSMP's READ copy stale — so drop
+            // it too and take the fill path below. (An in-place
+            // upgrade would twin the pre-merge image, and the pinned
+            // release path ships whole pages, clobbering the merge.)
+            for w in bits(server.dirs.write_dir & !(1 << ssmp)) {
+                self.evict_copy(entry, &mut server, w, page, t)?;
+            }
+            let frame = client.frame.clone().expect("READ page has a frame");
+            let rc_node = frame.home_node();
+            self.shoot_down(&mut client, ssmp, page, rc_node, t);
+            {
+                let _drain = frame.quiesce();
+                frame.bump_generation();
+            }
+            client.state = ClientState::Inv;
+            client.frame = None;
+            client.twin = None;
             server.dirs.read_dir &= !(1 << ssmp);
             self.stats.invalidations.incr();
             t.observe(ObsEvent::Invalidate {
@@ -715,6 +824,21 @@ impl MgsProtocol {
             return Err(e);
         }
         t.node_work(home_node, service);
+
+        // Single-writer pinning (migratory pages): evict the current
+        // writer before serving *any* fill — under the lazy pinned
+        // release the home copy is stale until the writer's diff is
+        // merged, and a faulter arriving after the writer's release
+        // must see the released words. Read fills evict too (rather
+        // than flushing the writer in place): a reader polling a
+        // pinned page would otherwise re-trigger a whole-page diff
+        // scan per read, while after an eviction the page stays
+        // read-shared until the writer's next store. A no-op unless
+        // the policy is `SingleWriterPin`.
+        if let Err(e) = self.pin_evict_writers(entry, server, ssmp, page, t) {
+            self.abort_fill(entry, ssmp, t);
+            return Err(e);
+        }
 
         let (frame, arrived): (_, Option<PageBuf>) = if at_home {
             // The home SSMP maps the physical home copy directly; no
@@ -908,9 +1032,64 @@ impl MgsProtocol {
 
         t.local(cost.rel_entry);
         let mut server = entry.server.lock();
+        // Lazy migratory release (policy `SingleWriterPin`, sole
+        // writer): skip the data flush entirely. The writer keeps its
+        // WRITE mapping and twin; its accumulated updates are recalled
+        // on demand when another SSMP faults on the page (every fill
+        // evicts the pinned writer first, merging its diff). Readers
+        // must still be invalidated here — release consistency promises
+        // that copies filled before this release go stale now — but a
+        // migratory page rarely has any, so the common release is
+        // message-free. This is where the policy earns its keep: a
+        // lock-protected page whose lock stays inside one SSMP pays
+        // nothing per critical section instead of a whole-page flush.
+        if self.policy(page) == PagePolicy::SingleWriterPin && server.dirs.write_dir == (1 << ssmp)
+        {
+            return self.pinned_release(&entry, &mut server, ssmp, page, t);
+        }
         self.reliable(t, ssmp, home_ssmp, MsgKind::Rel, 0, page)?;
         t.node_work(home_node, cost.server_rel);
         self.stats.pages_released.incr();
+
+        // The page's policy selects the flush discipline. Read once,
+        // under the server lock, so one release sees one policy even if
+        // the adaptive controller reclassifies concurrently.
+        match self.policy(page) {
+            // The paper's protocol. A pinned page's releases land here
+            // only during multi-writer transition windows (the sole-
+            // writer case returned above); the eager multi-writer path
+            // merges every writer and restores single-writer mode.
+            PagePolicy::Eager | PagePolicy::SingleWriterPin => {
+                self.eager_flush(&entry, &mut server, page, t)?;
+            }
+            PagePolicy::HomeLrc => self.lrc_flush(&entry, &mut server, ssmp, page, t)?,
+            PagePolicy::WriteThrough => {
+                self.write_through_flush(&entry, &mut server, ssmp, page, t)?;
+            }
+        }
+
+        // Arc 23: merge complete; acknowledge the releaser.
+        t.node_work(home_node, cost.server_merge);
+        self.reliable(t, home_ssmp, ssmp, MsgKind::RAck, 0, page)?;
+        t.local(cost.rel_finish);
+        Ok(())
+    }
+
+    /// The paper's release flush (policy [`PagePolicy::Eager`]): eager
+    /// invalidation of every sharer, diff merging for writers, the
+    /// single-writer 1WINV/1WDATA path when it applies. This body is
+    /// the pre-strategy protocol verbatim — the `strategy_equivalence`
+    /// suite gates that reports through this path stay bit-identical.
+    fn eager_flush(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
 
         let dirs = server.dirs;
         if self.cfg.single_writer_opt && dirs.writers() == 1 {
@@ -921,10 +1100,10 @@ impl MgsProtocol {
                 if self.cfg.lazy_read_invalidation {
                     self.post_notice(reader, page, home_ssmp, t)?;
                 } else {
-                    self.invalidate_client(&entry, &mut server, reader, page, false, t)?;
+                    self.invalidate_client(entry, server, reader, page, false, t)?;
                 }
             }
-            self.single_writer_flush(&entry, &mut server, writer, page, t)?;
+            self.single_writer_flush(entry, server, writer, page, t)?;
             server.dirs = ServerDirs {
                 read_dir: 0,
                 // Table 1 erratum (see crate docs): the writer keeps its
@@ -948,16 +1127,331 @@ impl MgsProtocol {
                 if !is_writer && self.cfg.lazy_read_invalidation {
                     self.post_notice(s, page, home_ssmp, t)?;
                 } else {
-                    self.invalidate_client(&entry, &mut server, s, page, is_writer, t)?;
+                    self.invalidate_client(entry, server, s, page, is_writer, t)?;
                 }
             }
             server.dirs = ServerDirs::default();
         }
+        Ok(())
+    }
 
-        // Arc 23: merge complete; acknowledge the releaser.
+    /// Home-based lazy release consistency flush (policy
+    /// [`PagePolicy::HomeLrc`]): the releasing SSMP ships its diff to
+    /// the home and posts write notices to the other sharers instead of
+    /// invalidating them — their copies are dropped (writers: evicted,
+    /// merging their diffs) at their next acquire point, off this
+    /// release's critical path. The releaser keeps its copy in WRITE
+    /// state with its twin refreshed to the flushed image, but its own
+    /// mappings are shot down **before** the diff so no store lands
+    /// between diff and twin refresh and the next local write re-faults
+    /// and re-enters the DUQ — without that re-arm, later releases
+    /// would find nothing to flush and updates would be lost.
+    fn lrc_flush(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+        let words = self.cfg.geometry.words_per_page();
+        let dirs = server.dirs;
+
+        if dirs.write_dir & (1 << ssmp) != 0 && ssmp != home_ssmp {
+            let (lock, _) = &entry.clients[ssmp];
+            let mut client = lock.lock();
+            debug_assert_eq!(client.state, ClientState::Write, "writer holds WRITE");
+            let frame = client.frame.clone().expect("writer has a frame");
+            let rc_node = frame.home_node();
+            t.node_work(rc_node, cost.rc_entry);
+            // DUQ re-arm (see the doc comment): shoot down and retire
+            // the generation before touching the data, so faulters
+            // block until the flushed image is consistent.
+            self.shoot_down(&mut client, ssmp, page, rc_node, t);
+            {
+                let _drain = frame.quiesce();
+                frame.bump_generation();
+            }
+            // Page cleaning (§4.2.4): flush this SSMP's cached lines so
+            // the diff reads coherent data.
+            let clean = self.caches[ssmp].directory().clean_page(frame.lines());
+            t.node_work(rc_node, SsmpCacheSystem::clean_cost(clean, cost));
+            // Diff and twin refresh under ONE exclusive drain: the kept
+            // twin must equal exactly the image that was diffed, or the
+            // next release's diff would re-ship (or miss) words written
+            // in between.
+            let mut twin = client.twin.take().expect("LRC writer has a twin");
+            let mut diff = self.acquire_diff_scratch(ssmp);
+            frame.with_quiesced(|w| {
+                diff.compute_into(w, &twin);
+                twin.copy_from_slice(w);
+            });
+            client.twin = Some(twin);
+            t.node_work(rc_node, cost.diff_compute_cost(words));
+            let changed = diff.changed_words();
+            if let Err(e) = self.reliable(t, ssmp, home_ssmp, MsgKind::Diff, changed * 8, page) {
+                self.release_diff_scratch(ssmp, diff);
+                return Err(e);
+            }
+            t.node_work(home_node, cost.diff_transfer_apply_cost(changed));
+            if dirs.all() & (1 << home_ssmp) == 0 {
+                // The home's cached lines must be flushed before the
+                // merge so post-merge reads at the home see merged data.
+                let hclean = self.caches[home_ssmp]
+                    .directory()
+                    .clean_page(server.home_frame.lines());
+                t.node_work(home_node, SsmpCacheSystem::clean_cost(hclean, cost));
+            }
+            diff.apply_to_frame(&server.home_frame);
+            self.mark_home_merge(server, &diff, home_node, home_ssmp);
+            t.observe(ObsEvent::Diff {
+                page,
+                ssmp,
+                words: changed,
+                spans: diff.span_count() as u64,
+            });
+            if t.observing() {
+                let base_line = server.home_frame.base() / PageGeometry::LINE_BYTES;
+                for line in diff.touched_lines(&server.home_frame) {
+                    t.observe(ObsEvent::DiffLine {
+                        page,
+                        line: line - base_line,
+                    });
+                }
+            }
+            self.release_diff_scratch(ssmp, diff);
+            self.stats.diffs.incr();
+            self.stats.diff_words.add(changed);
+        } else if dirs.write_dir & (1 << ssmp) != 0 {
+            // Home-SSMP writer: its stores are already in the home
+            // copy, so nothing travels — but the DUQ must still be
+            // re-armed so the *next* batch of local writes re-faults
+            // and triggers a future release (which is what notifies the
+            // other sharers).
+            let (lock, _) = &entry.clients[ssmp];
+            let mut client = lock.lock();
+            let frame = client.frame.clone().expect("writer has a frame");
+            self.shoot_down(&mut client, ssmp, page, frame.home_node(), t);
+            {
+                let _drain = frame.quiesce();
+                frame.bump_generation();
+            }
+        }
+
+        // Post write notices to every other sharer: their copies are
+        // stale but stay mapped until their next acquire point. The
+        // home SSMP's copy IS the just-merged home frame, so it is
+        // never stale and gets no notice. Directories are left
+        // unchanged — every copy stays live until drained.
+        for s in bits(dirs.all()) {
+            if s == ssmp || s == home_ssmp {
+                continue;
+            }
+            self.post_notice(s, page, home_ssmp, t)?;
+        }
+        Ok(())
+    }
+
+    /// Write-through flush (policy [`PagePolicy::WriteThrough`], chosen
+    /// by the adaptive controller for falsely-shared and
+    /// producer/consumer pages): the releaser's diff is merged at the
+    /// home and then **pushed to every live sharer copy in place**
+    /// (UPDATE messages) instead of invalidating them. Sharers keep
+    /// their mappings — no shootdown, no refault, no page refetch — so
+    /// a page that ping-pongs a few words per release (TSP's 56-byte
+    /// path records) stops paying whole-page breakup costs. Directories
+    /// are left unchanged; the sharer set only grows.
+    fn write_through_flush(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        let cost = &self.cfg.cost;
+        let words = self.cfg.geometry.words_per_page();
+        let dirs = server.dirs;
+
+        if dirs.write_dir & (1 << ssmp) == 0 {
+            // Nothing of ours left to push (the copy was already
+            // evicted and merged, e.g. by churn); sharers stay live.
+            return Ok(());
+        }
+        if ssmp == home_ssmp {
+            // A home-SSMP writer has no twin, so there is no diff to
+            // push; fall back to one eager release for this page (the
+            // sharer set re-forms on the next faults).
+            return self.eager_flush(entry, server, page, t);
+        }
+
+        // Flush our diff to the home — same mechanics as the LRC flush:
+        // re-arm the DUQ first, then diff + twin refresh under one
+        // exclusive drain.
+        let (lock, _) = &entry.clients[ssmp];
+        let mut client = lock.lock();
+        debug_assert_eq!(client.state, ClientState::Write, "writer holds WRITE");
+        let frame = client.frame.clone().expect("writer has a frame");
+        let rc_node = frame.home_node();
+        t.node_work(rc_node, cost.rc_entry);
+        self.shoot_down(&mut client, ssmp, page, rc_node, t);
+        {
+            let _drain = frame.quiesce();
+            frame.bump_generation();
+        }
+        let clean = self.caches[ssmp].directory().clean_page(frame.lines());
+        t.node_work(rc_node, SsmpCacheSystem::clean_cost(clean, cost));
+        let mut twin = client.twin.take().expect("write-through writer has a twin");
+        let mut diff = self.acquire_diff_scratch(ssmp);
+        frame.with_quiesced(|w| {
+            diff.compute_into(w, &twin);
+            twin.copy_from_slice(w);
+        });
+        client.twin = Some(twin);
+        t.node_work(rc_node, cost.diff_compute_cost(words));
+        let changed = diff.changed_words();
+        if let Err(e) = self.reliable(t, ssmp, home_ssmp, MsgKind::Diff, changed * 8, page) {
+            self.release_diff_scratch(ssmp, diff);
+            return Err(e);
+        }
+        t.node_work(home_node, cost.diff_transfer_apply_cost(changed));
+        if dirs.all() & (1 << home_ssmp) == 0 {
+            let hclean = self.caches[home_ssmp]
+                .directory()
+                .clean_page(server.home_frame.lines());
+            t.node_work(home_node, SsmpCacheSystem::clean_cost(hclean, cost));
+        }
+        diff.apply_to_frame(&server.home_frame);
+        self.mark_home_merge(server, &diff, home_node, home_ssmp);
+        t.observe(ObsEvent::Diff {
+            page,
+            ssmp,
+            words: changed,
+            spans: diff.span_count() as u64,
+        });
+        if t.observing() {
+            let base_line = server.home_frame.base() / PageGeometry::LINE_BYTES;
+            for line in diff.touched_lines(&server.home_frame) {
+                t.observe(ObsEvent::DiffLine {
+                    page,
+                    line: line - base_line,
+                });
+            }
+        }
+        self.stats.diffs.incr();
+        self.stats.diff_words.add(changed);
+        drop(client);
+
+        // Push the merged diff to every other live sharer copy, in
+        // place. Word-atomic stores on the live frame — no quiesce, no
+        // generation bump: the sharers' mappings stay valid throughout.
+        // A sharer's twin (if it is a writer) is patched identically,
+        // so its own next diff ships only its own words. A sharer
+        // concurrently storing to a *different* word loses nothing
+        // (stores are word-atomic both ways); same-word concurrent
+        // stores are a data race the release-consistency model already
+        // leaves undefined.
+        for s in bits(dirs.all()) {
+            if s == ssmp || s == home_ssmp {
+                continue;
+            }
+            let (slock, _) = &entry.clients[s];
+            let mut sclient = slock.lock();
+            if sclient.state == ClientState::Inv {
+                continue;
+            }
+            let sframe = sclient.frame.clone().expect("live sharer has a frame");
+            if let Err(e) = self.reliable(t, home_ssmp, s, MsgKind::Update, changed * 8, page) {
+                self.release_diff_scratch(ssmp, diff);
+                return Err(e);
+            }
+            let s_node = sframe.home_node();
+            t.node_work(s_node, cost.diff_transfer_apply_cost(changed));
+            diff.apply_to_frame(&sframe);
+            if let Some(stwin) = sclient.twin.as_mut() {
+                diff.apply_to_slice(stwin);
+            }
+            // The pushed words entered the sharer's memory through its
+            // protocol processor's cache: mark those lines dirty so a
+            // later page clean pays the dirty tier.
+            self.caches[s]
+                .directory()
+                .mark_dirty_lines(diff.touched_lines(&sframe), self.cfg.local_index(s_node));
+            self.stats.update_pushes.incr();
+            self.stats.update_push_words.add(changed);
+            t.observe(ObsEvent::UpdatePush {
+                page,
+                ssmp: s,
+                words: changed,
+            });
+        }
+        self.release_diff_scratch(ssmp, diff);
+        Ok(())
+    }
+
+    /// Lazy migratory release (policy [`PagePolicy::SingleWriterPin`],
+    /// sole writer): no data moves. Any reader copies are invalidated —
+    /// they were filled before this release and are stale the moment it
+    /// completes — but the writer keeps its mapping, its twin, and its
+    /// write privilege, so the next same-SSMP critical section runs
+    /// entirely in hardware. The unflushed updates stay recoverable:
+    /// every fill of a pinned page evicts the writer first
+    /// ([`pin_evict_writers`](MgsProtocol::pin_evict_writers)), which
+    /// diffs against the kept twin and merges home, so a remote
+    /// acquirer always reads the released words. With no readers the
+    /// release costs two local constants and zero messages.
+    fn pinned_release(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        let cost = &self.cfg.cost;
+        self.stats.pages_released.incr();
+        let readers = server.dirs.read_dir & !(1 << ssmp);
+        if readers == 0 {
+            t.local(cost.rel_finish);
+            return Ok(());
+        }
+        let home_node = self.home_node(page);
+        let home_ssmp = self.cfg.ssmp_of(home_node);
+        self.reliable(t, ssmp, home_ssmp, MsgKind::Rel, 0, page)?;
+        t.node_work(home_node, cost.server_rel);
+        for reader in bits(readers) {
+            self.invalidate_client(entry, server, reader, page, false, t)?;
+        }
+        server.dirs.read_dir &= 1 << ssmp;
         t.node_work(home_node, cost.server_merge);
         self.reliable(t, home_ssmp, ssmp, MsgKind::RAck, 0, page)?;
         t.local(cost.rel_finish);
+        Ok(())
+    }
+
+    /// Single-writer pinning: evicts every *other* writer of `page`
+    /// (merging their diffs into the home) under the held server lock.
+    /// A no-op unless the page's policy is
+    /// [`PagePolicy::SingleWriterPin`].
+    fn pin_evict_writers(
+        &self,
+        entry: &PageEntry,
+        server: &mut ServerPage,
+        ssmp: usize,
+        page: u64,
+        t: &mut dyn ProtoTiming,
+    ) -> Result<(), ProtocolError> {
+        if self.policy(page) != PagePolicy::SingleWriterPin {
+            return Ok(());
+        }
+        for w in bits(server.dirs.write_dir & !(1 << ssmp)) {
+            self.evict_copy(entry, server, w, page, t)?;
+        }
         Ok(())
     }
 
@@ -1199,7 +1693,7 @@ impl MgsProtocol {
     /// (the acquire half of release consistency). A no-op in eager mode
     /// or when no notices are pending.
     pub fn acquire_sync(&self, proc: usize, t: &mut dyn ProtoTiming) {
-        if !self.cfg.lazy_read_invalidation {
+        if !self.uses_notices() {
             return;
         }
         let ssmp = self.cfg.ssmp_of(proc);
@@ -1228,10 +1722,34 @@ impl MgsProtocol {
             let mut server = entry.server.lock();
             let (lock, _) = &entry.clients[ssmp];
             let mut client = lock.lock();
-            // The copy may already be gone (re-faulted and re-invalidated,
-            // or upgraded to a write copy that a later release handled).
-            if client.state != ClientState::Read {
-                continue;
+            match client.state {
+                ClientState::Read => {}
+                // Home-LRC posts notices to writer SSMPs too: a noticed
+                // write copy is missing other releasers' merged words,
+                // so it must be fully evicted (its own diff merges
+                // home) and refetched on next use. Canonical lock
+                // order: release the client lock, evict under the
+                // still-held server lock.
+                ClientState::Write if self.policy(page) == PagePolicy::HomeLrc => {
+                    drop(client);
+                    if let Err(e) = self.evict_copy(&entry, &mut server, ssmp, page, t) {
+                        // Keep the drain accounting consistent before
+                        // surfacing the failure under the same
+                        // panic-on-exhausted-retries contract as
+                        // `fault`.
+                        let mut st = self.notices[ssmp].state.lock();
+                        st.drains_in_flight -= 1;
+                        if st.drains_in_flight == 0 {
+                            self.notices[ssmp].drained.notify_all();
+                        }
+                        panic!("unrecoverable MGS protocol failure: {e}");
+                    }
+                    continue;
+                }
+                // The copy may already be gone (re-faulted and
+                // re-invalidated), or it is a write copy that a later
+                // eager release handled.
+                _ => continue,
             }
             let frame = client.frame.clone().expect("READ copy has a frame");
             let rc_node = frame.home_node();
@@ -1295,6 +1813,31 @@ impl MgsProtocol {
             server.dirs.write_dir &= !(1 << ssmp);
         }
         Ok(had_copy)
+    }
+
+    /// Flushes every page still pinned by the lazy migratory release
+    /// back to its home: each [`PagePolicy::SingleWriterPin`] page's
+    /// remaining writer is evicted, merging its accumulated diff into
+    /// the home copy. Under the pinned release a sole writer's updates
+    /// live only in its kept frame until *someone else faults on the
+    /// page* — if nobody ever does (the common case for the final
+    /// critical section before termination), the home copy stays stale
+    /// forever. The runtime calls this once after the parallel section
+    /// completes, so host-side readback (`Machine::peek`, result
+    /// verification, memory-image comparisons) observes the canonical
+    /// final data. A no-op under the static strategies: only the
+    /// adaptive controller installs the pin policy.
+    pub fn drain_pinned(&self, t: &mut dyn ProtoTiming) -> Result<(), ProtocolError> {
+        for (page, entry) in self.instantiated_pages() {
+            if self.policy(page) != PagePolicy::SingleWriterPin {
+                continue;
+            }
+            let mut server = entry.server.lock();
+            for w in bits(server.dirs.write_dir) {
+                self.evict_copy(&entry, &mut server, w, page, t)?;
+            }
+        }
+        Ok(())
     }
 
     /// Drains SSMP `ssmp` out of the machine ahead of a churn

@@ -32,6 +32,13 @@ pub struct ProtoStats {
     pub pinvs: Counter,
     /// Write notices posted under lazy read invalidation.
     pub lazy_notices: Counter,
+    /// Merged diffs pushed to live sharer copies (write-through
+    /// policy).
+    pub update_pushes: Counter,
+    /// Total words carried by those update pushes.
+    pub update_push_words: Counter,
+    /// Pages reclassified by the adaptive-grain controller.
+    pub policy_switches: Counter,
     /// Retransmissions after a fabric-dropped message timed out.
     pub retries: Counter,
     /// Duplicate message copies discarded by the sequence filter.
@@ -60,6 +67,9 @@ impl ProtoStats {
         self.invalidations.reset();
         self.pinvs.reset();
         self.lazy_notices.reset();
+        self.update_pushes.reset();
+        self.update_push_words.reset();
+        self.policy_switches.reset();
         self.retries.reset();
         self.dup_rejects.reset();
         self.xact_failures.reset();

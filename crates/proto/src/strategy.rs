@@ -1,0 +1,516 @@
+//! Pluggable per-page coherence strategies and the profile-driven
+//! adaptive-grain controller.
+//!
+//! The paper's protocol is one point in a large design space: eager
+//! invalidation at release, Munin-style twin/diff multiple writers, the
+//! single-writer 1WDATA optimization. This module makes the choice
+//! explicit. A [`CoherenceStrategy`] resolves each virtual page to a
+//! [`PagePolicy`] that the protocol engines dispatch on at their *slow
+//! paths only* (faults, releases, acquires) — the per-access hot path
+//! never consults a policy, so strategy dispatch is free when the
+//! static [`Eager`](ProtocolKind::Eager) strategy is selected (the
+//! `strategy_equivalence` suite gates that its reports are
+//! bit-identical to the pre-trait protocol).
+//!
+//! Three strategies exist:
+//!
+//! * [`ProtocolKind::Eager`] — the paper's protocol, unchanged.
+//! * [`ProtocolKind::HomeLrc`] — home-based lazy release consistency:
+//!   the releaser flushes its diff to the home and posts write notices;
+//!   sharers drop their copies at their next acquire point, off the
+//!   releaser's critical path (no invalidation fan-out).
+//! * [`ProtocolKind::Adaptive`] — starts every page as `Eager` and
+//!   reclassifies hot pages online from the `mgs-obs` sharing
+//!   profiler: falsely-shared and producer/consumer pages switch to
+//!   [`PagePolicy::WriteThrough`] (diffs pushed to live sharer copies,
+//!   no invalidation/refetch churn — the page is effectively demoted to
+//!   diff-grain coherence), migratory pages to
+//!   [`PagePolicy::SingleWriterPin`] (lazy migratory release: the sole
+//!   writer's releases stop flushing data — its updates are recalled,
+//!   diff-merged from the kept twin, only when another SSMP actually
+//!   faults on the page — so lock streaks that stay inside one SSMP
+//!   pay nothing per critical section).
+
+pub use mgs_obs::PagePolicy;
+use mgs_sim::Cycles;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which coherence strategy a protocol instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolKind {
+    /// The paper's protocol (eager invalidation + single-writer
+    /// optimization). Bit-identical to the pre-strategy code.
+    #[default]
+    Eager,
+    /// Home-based lazy release consistency for every page.
+    HomeLrc,
+    /// Profile-driven per-page policies (requires the observability
+    /// sink; the runtime enables it automatically).
+    Adaptive,
+}
+
+impl ProtocolKind {
+    /// Label used by benches and JSON provenance.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Eager => "eager",
+            ProtocolKind::HomeLrc => "lrc",
+            ProtocolKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a bench-flag value (`eager` | `lrc` | `adaptive`).
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        match s {
+            "eager" => Some(ProtocolKind::Eager),
+            "lrc" | "home_lrc" | "homelrc" => Some(ProtocolKind::HomeLrc),
+            "adaptive" => Some(ProtocolKind::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// Thresholds and pacing of the adaptive-grain controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveParams {
+    /// Minimum simulated cycles between controller samples. Samples
+    /// are taken at safe poll points (fault entries), whichever
+    /// processor's poll point first crosses the deadline; the check is
+    /// a single lock-free atomic compare.
+    pub sample_every: Cycles,
+    /// A page must have accumulated at least this much profiler
+    /// activity before it is classified (cold pages stay `Eager`).
+    pub min_activity: u64,
+    /// A multi-writer page whose mean diff carries at most this many
+    /// changed words is treated as falsely shared (TSP's 56-byte path
+    /// records are 7 words) and switched to write-through.
+    pub small_diff_words: u64,
+    /// A single-writer page needs at least this many reader
+    /// invalidations (or lazy notices) before it is called
+    /// producer/consumer and switched to write-through.
+    pub min_consumer_invals: u64,
+    /// A sole-writer page needs at least this many 1WDATA flushes —
+    /// and flushes must outnumber reader invalidations two to one —
+    /// before it is pinned. The ratio keeps every-iteration
+    /// producer/consumer pages (flushes ≈ invalidations) on the
+    /// write-through track.
+    pub min_pin_flushes: u64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> AdaptiveParams {
+        AdaptiveParams {
+            sample_every: Cycles(100_000),
+            min_activity: 12,
+            small_diff_words: 16,
+            min_consumer_invals: 8,
+            min_pin_flushes: 3,
+        }
+    }
+}
+
+/// One adaptive policy decision, for the run report's policy trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyDecision {
+    /// The reclassified virtual page.
+    pub page: u64,
+    /// The policy now in effect.
+    pub policy: PagePolicy,
+    /// Simulated time of the controller sample that decided it.
+    pub at: Cycles,
+    /// Why (the classification rule that fired).
+    pub reason: &'static str,
+}
+
+impl fmt::Display for PolicyDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} page {} -> {} ({})",
+            self.at.raw(),
+            self.page,
+            self.policy.label(),
+            self.reason
+        )
+    }
+}
+
+/// A coherence strategy: resolves pages to policies.
+///
+/// The contract the protocol engines rely on:
+///
+/// * `policy` must be **stable between protocol slow-path entries** of
+///   the same page — it may change over time (the adaptive controller
+///   does), but only through the controller's serialized apply step,
+///   never mid-transaction (the engines read it once per transaction,
+///   under the page's server lock for releases).
+/// * `policy` must charge **no simulated cycles** and take no page
+///   locks: it is called with the page's server mutex held.
+/// * `uses_notices` must be constant for the lifetime of the protocol
+///   instance (it gates whether acquire points drain notice boards).
+pub trait CoherenceStrategy: fmt::Debug {
+    /// Short label for reports and provenance.
+    fn name(&self) -> &'static str;
+    /// The policy in effect for `page`.
+    fn policy(&self, page: u64) -> PagePolicy;
+    /// Does this strategy post write notices that acquire points must
+    /// drain?
+    fn uses_notices(&self) -> bool;
+}
+
+/// The static all-pages-eager strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EagerStrategy;
+
+impl CoherenceStrategy for EagerStrategy {
+    fn name(&self) -> &'static str {
+        "eager"
+    }
+    #[inline]
+    fn policy(&self, _page: u64) -> PagePolicy {
+        PagePolicy::Eager
+    }
+    fn uses_notices(&self) -> bool {
+        false
+    }
+}
+
+/// The static all-pages home-LRC strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HomeLrcStrategy;
+
+impl CoherenceStrategy for HomeLrcStrategy {
+    fn name(&self) -> &'static str {
+        "lrc"
+    }
+    #[inline]
+    fn policy(&self, _page: u64) -> PagePolicy {
+        PagePolicy::HomeLrc
+    }
+    fn uses_notices(&self) -> bool {
+        true
+    }
+}
+
+const TABLE_SHARDS: usize = 16;
+
+/// The profile-driven adaptive-grain controller.
+///
+/// Holds the per-page policy table (pages start `Eager`; the sharded
+/// map only ever holds reclassified pages, so lookups on an untouched
+/// machine are one lock + one empty-map probe), the sampling deadline,
+/// and the decision trace. Classification itself lives in
+/// [`AdaptiveController::classify`]; the protocol's `adapt` entry point
+/// feeds it profiler snapshots at safe poll points.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    params: AdaptiveParams,
+    /// Next simulated time a sample is due. Poll points race on a
+    /// compare-exchange; exactly one wins each deadline.
+    next_due: AtomicU64,
+    /// Serializes the apply step (W>1 poll points that lose the CAS
+    /// never enter).
+    table: Vec<Mutex<HashMap<u64, PagePolicy>>>,
+    decisions: Mutex<Vec<PolicyDecision>>,
+}
+
+impl AdaptiveController {
+    /// Creates a controller with every page `Eager`.
+    pub fn new(params: AdaptiveParams) -> AdaptiveController {
+        AdaptiveController {
+            params,
+            next_due: AtomicU64::new(params.sample_every.raw()),
+            table: (0..TABLE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            decisions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The controller's thresholds.
+    pub fn params(&self) -> &AdaptiveParams {
+        &self.params
+    }
+
+    /// Is a controller sample due at simulated time `now`? On `true`
+    /// the deadline has been advanced and the caller owns this sample
+    /// (lock-free; losers of the race see `false`).
+    pub fn sample_due(&self, now: Cycles) -> bool {
+        let due = self.next_due.load(Ordering::Relaxed);
+        if now.raw() < due {
+            return false;
+        }
+        self.next_due
+            .compare_exchange(
+                due,
+                now.raw() + self.params.sample_every.raw(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Records a decision and installs the page's new policy.
+    pub fn install(&self, decision: PolicyDecision) {
+        self.table[(decision.page as usize) % TABLE_SHARDS]
+            .lock()
+            .insert(decision.page, decision.policy);
+        self.decisions.lock().push(decision);
+    }
+
+    /// The decision trace so far, in decision order.
+    pub fn decisions(&self) -> Vec<PolicyDecision> {
+        self.decisions.lock().clone()
+    }
+
+    /// Classifies one page from its accumulated profile. Returns the
+    /// policy to switch to (with the rule that fired), or `None` to
+    /// stay `Eager`. Transitions are one-way — a page is classified at
+    /// most once — so repeated sampling of cumulative counters is
+    /// idempotent and the policy trace stays short and deterministic.
+    pub fn classify(&self, profile: &mgs_obs::PageProfile) -> Option<(PagePolicy, &'static str)> {
+        let p = &self.params;
+        if profile.activity() < p.min_activity {
+            return None;
+        }
+        let writers = u64::from(profile.write_sharers());
+        let readers = u64::from(profile.read_sharers());
+        if writers >= 2 {
+            // Migratory: the page lives in single-writer mode (1WDATA
+            // flushes dominate multi-writer diff releases) yet write
+            // privilege has moved between SSMPs over time — the
+            // signature of lock-protected data handed around with its
+            // lock. Pin it: releases stop flushing (the updates are
+            // recalled on demand when another SSMP faults), so
+            // same-SSMP lock streaks run entirely in hardware. This
+            // rule fires before the small-diff one — a migratory page's
+            // few transition-window diffs are tiny and would otherwise
+            // misclassify it as falsely shared.
+            if profile.single_writer_flushes > profile.diffs {
+                return Some((PagePolicy::SingleWriterPin, "migratory"));
+            }
+            let mean_diff = profile
+                .diff_words
+                .checked_div(profile.diffs)
+                .unwrap_or(u64::MAX);
+            if profile.diffs > 0 && mean_diff <= p.small_diff_words {
+                // Several SSMPs write the page but each release carries
+                // only a few words: page-grain coherence is amplifying
+                // sub-page (cache-line-grain) sharing. Patch sharers in
+                // place instead of invalidating them.
+                return Some((PagePolicy::WriteThrough, "falsely-shared"));
+            }
+            // Writers hand the whole page around in large diffs: keep
+            // it single-writer by evicting the previous writer at
+            // fault time.
+            return Some((PagePolicy::SingleWriterPin, "migratory"));
+        }
+        if writers == 1
+            && readers >= 1
+            && profile.invalidations + profile.lazy_notices >= p.min_consumer_invals
+        {
+            // One producer, stable consumers, and the consumers' copies
+            // keep getting invalidated and refetched: push the
+            // producer's diffs instead.
+            return Some((PagePolicy::WriteThrough, "producer-consumer"));
+        }
+        if writers <= 1
+            && profile.single_writer_flushes >= p.min_pin_flushes
+            && profile.single_writer_flushes > 2 * (profile.invalidations + profile.lazy_notices)
+        {
+            // One writer, and its whole-page 1WDATA flushes dwarf the
+            // rare reader invalidations: the flushes are pure overhead
+            // (mostly remotely-homed near-private data drained off the
+            // delayed update queue inside critical sections). Pin it —
+            // releases stop flushing and the occasional reader recalls
+            // the data on demand.
+            return Some((PagePolicy::SingleWriterPin, "sole-writer"));
+        }
+        None
+    }
+}
+
+impl CoherenceStrategy for AdaptiveController {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn policy(&self, page: u64) -> PagePolicy {
+        self.table[(page as usize) % TABLE_SHARDS]
+            .lock()
+            .get(&page)
+            .copied()
+            .unwrap_or(PagePolicy::Eager)
+    }
+    fn uses_notices(&self) -> bool {
+        false
+    }
+}
+
+/// Enum dispatch over the three strategies (no `dyn` indirection on
+/// protocol slow paths; the `Eager` arm folds to a constant).
+#[derive(Debug)]
+pub enum StrategyBox {
+    /// All pages [`PagePolicy::Eager`].
+    Eager(EagerStrategy),
+    /// All pages [`PagePolicy::HomeLrc`].
+    HomeLrc(HomeLrcStrategy),
+    /// Profile-driven per-page policies.
+    Adaptive(AdaptiveController),
+}
+
+impl StrategyBox {
+    /// Builds the strategy a configuration asks for.
+    pub fn new(kind: ProtocolKind, params: AdaptiveParams) -> StrategyBox {
+        match kind {
+            ProtocolKind::Eager => StrategyBox::Eager(EagerStrategy),
+            ProtocolKind::HomeLrc => StrategyBox::HomeLrc(HomeLrcStrategy),
+            ProtocolKind::Adaptive => StrategyBox::Adaptive(AdaptiveController::new(params)),
+        }
+    }
+
+    /// The adaptive controller, when this strategy is adaptive.
+    pub fn controller(&self) -> Option<&AdaptiveController> {
+        match self {
+            StrategyBox::Adaptive(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl CoherenceStrategy for StrategyBox {
+    fn name(&self) -> &'static str {
+        match self {
+            StrategyBox::Eager(s) => s.name(),
+            StrategyBox::HomeLrc(s) => s.name(),
+            StrategyBox::Adaptive(s) => s.name(),
+        }
+    }
+    #[inline]
+    fn policy(&self, page: u64) -> PagePolicy {
+        match self {
+            StrategyBox::Eager(s) => s.policy(page),
+            StrategyBox::HomeLrc(s) => s.policy(page),
+            StrategyBox::Adaptive(s) => s.policy(page),
+        }
+    }
+    fn uses_notices(&self) -> bool {
+        match self {
+            StrategyBox::Eager(s) => s.uses_notices(),
+            StrategyBox::HomeLrc(s) => s.uses_notices(),
+            StrategyBox::Adaptive(s) => s.uses_notices(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgs_obs::PageProfile;
+
+    #[test]
+    fn static_strategies_are_uniform() {
+        let e = StrategyBox::new(ProtocolKind::Eager, AdaptiveParams::default());
+        let l = StrategyBox::new(ProtocolKind::HomeLrc, AdaptiveParams::default());
+        for page in [0u64, 7, 1 << 40] {
+            assert_eq!(e.policy(page), PagePolicy::Eager);
+            assert_eq!(l.policy(page), PagePolicy::HomeLrc);
+        }
+        assert!(!e.uses_notices());
+        assert!(l.uses_notices());
+    }
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for kind in [
+            ProtocolKind::Eager,
+            ProtocolKind::HomeLrc,
+            ProtocolKind::Adaptive,
+        ] {
+            assert_eq!(ProtocolKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn sample_deadline_is_claimed_once() {
+        let c = AdaptiveController::new(AdaptiveParams {
+            sample_every: Cycles(100),
+            ..AdaptiveParams::default()
+        });
+        assert!(!c.sample_due(Cycles(99)));
+        assert!(c.sample_due(Cycles(150)));
+        // The winner advanced the deadline to 150 + 100.
+        assert!(!c.sample_due(Cycles(150)));
+        assert!(c.sample_due(Cycles(251)));
+    }
+
+    #[test]
+    fn install_changes_policy_and_traces() {
+        let c = AdaptiveController::new(AdaptiveParams::default());
+        assert_eq!(c.policy(5), PagePolicy::Eager);
+        c.install(PolicyDecision {
+            page: 5,
+            policy: PagePolicy::WriteThrough,
+            at: Cycles(42),
+            reason: "test",
+        });
+        assert_eq!(c.policy(5), PagePolicy::WriteThrough);
+        assert_eq!(c.policy(6), PagePolicy::Eager);
+        let trace = c.decisions();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].page, 5);
+        assert!(trace[0].to_string().contains("write_through"));
+    }
+
+    #[test]
+    fn classify_separates_the_three_shapes() {
+        let c = AdaptiveController::new(AdaptiveParams::default());
+
+        // Falsely shared: two writers, tiny diffs.
+        let mut false_shared = PageProfile {
+            writer_mask: 0b11,
+            diffs: 10,
+            diff_words: 70, // 7 words/diff: sub-line records
+            invalidations: 20,
+            write_fills: 20,
+            ..PageProfile::default()
+        };
+        assert_eq!(
+            c.classify(&false_shared),
+            Some((PagePolicy::WriteThrough, "falsely-shared"))
+        );
+
+        // Migratory: two writers, big diffs.
+        false_shared.diff_words = 10_000;
+        assert_eq!(
+            c.classify(&false_shared),
+            Some((PagePolicy::SingleWriterPin, "migratory"))
+        );
+
+        // Producer/consumer: one writer, invalidated readers.
+        let producer = PageProfile {
+            writer_mask: 0b1,
+            reader_mask: 0b110,
+            invalidations: 16,
+            read_fills: 16,
+            single_writer_flushes: 16,
+            ..PageProfile::default()
+        };
+        assert_eq!(
+            c.classify(&producer),
+            Some((PagePolicy::WriteThrough, "producer-consumer"))
+        );
+
+        // Cold page: below the activity floor.
+        let cold = PageProfile {
+            writer_mask: 0b11,
+            diffs: 1,
+            diff_words: 2,
+            ..PageProfile::default()
+        };
+        assert_eq!(c.classify(&cold), None);
+    }
+}

@@ -16,7 +16,7 @@
 //! standard library initializes that thread's channel context on the
 //! heap, and whether that lands inside the window is a timing race.
 
-use mgs_repro::core::{AccessKind, DssmpConfig, Machine};
+use mgs_repro::core::{AccessKind, DssmpConfig, Machine, ProtocolKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,10 +67,22 @@ static MEASURED: AtomicU64 = AtomicU64::new(u64::MAX);
 
 #[test]
 fn per_access_metrics_path_allocates_nothing() {
+    // Both the default Eager strategy and the adaptive controller: the
+    // per-page policy rides in the Env translation cache (a `Copy`
+    // tuple field), so strategy dispatch must add no heap traffic to
+    // the steady-state access path in either mode.
+    for protocol in [ProtocolKind::Eager, ProtocolKind::Adaptive] {
+        check_zero_alloc(protocol);
+    }
+}
+
+fn check_zero_alloc(protocol: ProtocolKind) {
     const WORDS: u64 = 1024; // 8 KiB: several pages, well within the
                              // 64-slot translation cache
 
-    let mut cfg = DssmpConfig::new(1, 1).with_observability();
+    let mut cfg = DssmpConfig::new(1, 1)
+        .with_observability()
+        .with_protocol(protocol);
     cfg.governor_window = None;
     let machine = Machine::new(cfg);
     let arr = machine.alloc_array::<u64>(WORDS, AccessKind::DistArray);
@@ -108,7 +120,7 @@ fn per_access_metrics_path_allocates_nothing() {
     assert_eq!(
         MEASURED.load(Ordering::Relaxed),
         0,
-        "instrumented steady-state accesses must not touch the heap"
+        "instrumented steady-state accesses must not touch the heap ({protocol:?})"
     );
 
     // The counting really happened.

@@ -1,0 +1,430 @@
+//! Strategy-refactor equivalence and adaptive correctness.
+//!
+//! Three guarantees, end to end through the facade crate:
+//!
+//! * **bit-identity** — the [`ProtocolKind::Eager`] strategy (the
+//!   default) reproduces the pre-refactor protocol *exactly*: every
+//!   run report below (duration, LAN traffic, lock counts, retries,
+//!   and the full four-way cycle breakdown) equals a golden value
+//!   captured from the tree immediately before the `CoherenceStrategy`
+//!   trait was introduced, across both execution engines, perfect and
+//!   seeded-lossy fabrics, and cluster sizes 1 / 4 / 32;
+//! * **convergence** — the [`ProtocolKind::HomeLrc`] and
+//!   [`ProtocolKind::Adaptive`] strategies produce the fault-free
+//!   memory image on data-race-free programs (checked against a
+//!   sequential interpreter), on perfect and lossy fabrics alike, and
+//!   the self-verifying applications pass under both;
+//! * **determinism** — at `W = 1` under the virtual engine an adaptive
+//!   run's policy-decision trace is bit-identical run to run.
+//!
+//! The golden table doubles as the repository's strongest regression
+//! anchor for the protocol's cycle accounting: any change to the eager
+//! path — intended or not — shows up as a numeric diff here.
+
+use mgs_repro::apps::{jacobi::Jacobi, tsp::Tsp, water::Water, MgsApp};
+use mgs_repro::core::{
+    AccessKind, CostCategory, Cycles, DssmpConfig, ExecutionEngine, FaultPlan, Machine,
+    ProtocolKind, RunReport,
+};
+
+const PROCS: usize = 32;
+const WORDS_PER_PROC: u64 = 256;
+const PHASES: u64 = 2;
+const RING_WORDS: u64 = 64;
+const LOSSY_SEED: u64 = 0x4D47_5345_4E47_5631;
+
+/// The report fields pinned by the golden table, in order: duration,
+/// LAN messages, LAN bytes, lock acquires, retries, then the User /
+/// Lock / Barrier / MGS breakdown.
+fn fields(r: &RunReport) -> [u64; 9] {
+    [
+        r.duration.raw(),
+        r.lan_messages,
+        r.lan_bytes,
+        r.lock_acquires,
+        r.retries,
+        r.breakdown.get(CostCategory::User).raw(),
+        r.breakdown.get(CostCategory::Lock).raw(),
+        r.breakdown.get(CostCategory::Barrier).raw(),
+        r.breakdown.get(CostCategory::Mgs).raw(),
+    ]
+}
+
+/// Captured from the pre-refactor tree (commit `11f1160`) by running
+/// exactly the workloads below. Do not regenerate casually: these
+/// numbers *are* the bit-identity contract.
+const GOLDENS: &[(&str, [u64; 9])] = &[
+    (
+        "disjoint-c1-threaded",
+        [70960, 0, 0, 0, 0, 21632, 0, 31440, 17888],
+    ),
+    (
+        "disjoint-c1-virtual",
+        [70960, 0, 0, 0, 0, 21632, 0, 31440, 17888],
+    ),
+    (
+        "ring-perfect-c1-virtual",
+        [1039740, 126, 32256, 0, 0, 2848, 0, 1015108, 21784],
+    ),
+    (
+        "ring-lossy-c1-virtual",
+        [1082586, 133, 35328, 0, 7, 2848, 0, 1056615, 23123],
+    ),
+    (
+        "disjoint-c4-threaded",
+        [56880, 0, 0, 0, 0, 21632, 0, 17360, 17888],
+    ),
+    (
+        "disjoint-c4-virtual",
+        [56880, 0, 0, 0, 0, 21632, 0, 17360, 17888],
+    ),
+    (
+        "ring-perfect-c4-virtual",
+        [637212, 62, 15872, 0, 0, 3064, 0, 621639, 12509],
+    ),
+    (
+        "ring-lossy-c4-virtual",
+        [656852, 65, 17920, 0, 3, 3064, 0, 640665, 13123],
+    ),
+    (
+        "disjoint-c32-threaded",
+        [25306, 0, 0, 0, 0, 23706, 0, 1600, 0],
+    ),
+    (
+        "disjoint-c32-virtual",
+        [25306, 0, 0, 0, 0, 23706, 0, 1600, 0],
+    ),
+    (
+        "ring-perfect-c32-virtual",
+        [150944, 0, 0, 0, 0, 4317, 0, 146627, 0],
+    ),
+    (
+        "ring-lossy-c32-virtual",
+        [150944, 0, 0, 0, 0, 4317, 0, 146627, 0],
+    ),
+    (
+        "jacobi-c1-virtual-w1",
+        [373558, 608, 165312, 0, 0, 9183, 0, 190837, 173538],
+    ),
+    (
+        "jacobi-c4-virtual-w1",
+        [178238, 203, 55496, 0, 0, 11269, 0, 103965, 63004],
+    ),
+    (
+        "jacobi-c32-virtual-w1",
+        [17909, 0, 0, 0, 0, 14591, 0, 3318, 0],
+    ),
+    (
+        "tsp-c1-virtual-w1",
+        [
+            5397214, 1268, 336176, 218, 0, 18266, 5011102, 200346, 167500,
+        ],
+    ),
+    (
+        "tsp-c4-virtual-w1",
+        [3037386, 647, 162016, 243, 0, 20213, 2868497, 52501, 96175],
+    ),
+    (
+        "tsp-c32-virtual-w1",
+        [209369, 0, 0, 251, 0, 27314, 172700, 9355, 0],
+    ),
+    (
+        "water-c1-virtual-w1",
+        [
+            10356153, 5190, 1177768, 272, 0, 63482, 1633771, 5765327, 2893573,
+        ],
+    ),
+    (
+        "water-c4-virtual-w1",
+        [
+            5513063, 2474, 535032, 272, 0, 64012, 1095005, 3203769, 1150277,
+        ],
+    ),
+    (
+        "water-c32-virtual-w1",
+        [191633, 0, 0, 272, 0, 68229, 22887, 100517, 0],
+    ),
+];
+
+fn golden(name: &str) -> [u64; 9] {
+    GOLDENS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("no golden named {name}"))
+        .1
+}
+
+fn check(name: &str, r: &RunReport) {
+    assert_eq!(
+        fields(r),
+        golden(name),
+        "{name}: Eager must be bit-identical to the pre-refactor protocol"
+    );
+}
+
+/// Disjoint writer/reader blocks separated by barriers: pure eager
+/// single-writer traffic.
+fn run_disjoint(cfg: DssmpConfig) -> RunReport {
+    let machine = Machine::new(cfg);
+    let arr =
+        machine.alloc_array_blocked::<u64>(WORDS_PER_PROC * PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid() as u64;
+        let base = pid * WORDS_PER_PROC;
+        env.start_measurement();
+        for phase in 0..PHASES {
+            for i in 0..WORDS_PER_PROC {
+                arr.write(env, base + i, pid * 1_000_000 + phase * 1_000 + i);
+            }
+            env.barrier();
+            let mut acc = 0u64;
+            for i in 0..WORDS_PER_PROC {
+                acc = acc.wrapping_add(arr.read(env, base + i));
+            }
+            std::hint::black_box(acc);
+            env.barrier();
+        }
+    })
+}
+
+/// One active remote writer per barrier phase (the chaos bench's
+/// token ring): serialized cross-SSMP fills, diffs, and — on the lossy
+/// fabric — retransmissions.
+fn run_ring(cfg: DssmpConfig) -> RunReport {
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_blocked::<u64>(RING_WORDS * PROCS as u64, AccessKind::DistArray);
+    machine.run(|env| {
+        let pid = env.pid();
+        env.start_measurement();
+        for phase in 0..PROCS {
+            if pid == phase {
+                let base = ((pid + 1) % PROCS) as u64 * RING_WORDS;
+                for i in 0..RING_WORDS {
+                    arr.write(env, base + i, ((phase as u64) << 32) | i);
+                }
+                let mut acc = 0u64;
+                for i in 0..RING_WORDS {
+                    acc = acc.wrapping_add(arr.read(env, base + i));
+                }
+                std::hint::black_box(acc);
+            }
+            env.barrier();
+        }
+    })
+}
+
+fn virtual_w1(cfg: &mut DssmpConfig) {
+    cfg.engine = ExecutionEngine::Virtual;
+    cfg.workers = Some(1);
+}
+
+#[test]
+fn eager_microbenchmarks_match_pre_refactor_goldens() {
+    for c in [1usize, 4, 32] {
+        for engine in [ExecutionEngine::Threaded, ExecutionEngine::Virtual] {
+            let mut cfg = DssmpConfig::new(PROCS, c).with_protocol(ProtocolKind::Eager);
+            cfg.engine = engine;
+            if engine == ExecutionEngine::Virtual {
+                cfg.workers = Some(1);
+            }
+            let tag = match engine {
+                ExecutionEngine::Threaded => "threaded",
+                ExecutionEngine::Virtual => "virtual",
+            };
+            check(&format!("disjoint-c{c}-{tag}"), &run_disjoint(cfg));
+        }
+        for (fabric, plan) in [
+            ("perfect", FaultPlan::none()),
+            (
+                "lossy",
+                FaultPlan::uniform(LOSSY_SEED, 0.05, 0.05, Cycles(200)),
+            ),
+        ] {
+            let mut cfg = DssmpConfig::new(PROCS, c)
+                .with_protocol(ProtocolKind::Eager)
+                .with_faults(plan);
+            virtual_w1(&mut cfg);
+            check(&format!("ring-{fabric}-c{c}-virtual"), &run_ring(cfg));
+        }
+    }
+}
+
+#[test]
+fn eager_applications_match_pre_refactor_goldens() {
+    let apps: Vec<(&str, Box<dyn MgsApp>)> = vec![
+        (
+            "jacobi",
+            Box::new(Jacobi {
+                n: 32,
+                iters: 2,
+                ..Jacobi::small()
+            }),
+        ),
+        (
+            "tsp",
+            Box::new(Tsp {
+                n: 6,
+                ..Tsp::small()
+            }),
+        ),
+        (
+            "water",
+            Box::new(Water {
+                n: 16,
+                iters: 1,
+                ..Water::small()
+            }),
+        ),
+    ];
+    for (name, app) in &apps {
+        for c in [1usize, 4, 32] {
+            let mut cfg = DssmpConfig::new(PROCS, c).with_protocol(ProtocolKind::Eager);
+            virtual_w1(&mut cfg);
+            let r = app.execute(&Machine::new(cfg));
+            check(&format!("{name}-c{c}-virtual-w1"), &r);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convergence: non-eager strategies produce the fault-free image.
+// ---------------------------------------------------------------------
+
+const CP: usize = 8;
+const CWORDS: u64 = 512;
+
+/// A fixed heavy-false-sharing DRF program: every processor writes
+/// interleaved words of the same pages across phases — worst-case
+/// multi-writer merging for every strategy, and exactly the shape the
+/// adaptive controller reclassifies.
+fn phased_writes() -> Vec<Vec<Vec<(u64, u64)>>> {
+    (0..4u64)
+        .map(|phase| {
+            (0..CP)
+                .map(|p| {
+                    (0..16u64)
+                        .map(|i| {
+                            let w = (p as u64 + i * CP as u64) % CWORDS;
+                            (w, (phase * 1000 + p as u64 * 10 + i) + 1)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn interpret(phases: &[Vec<Vec<(u64, u64)>>]) -> Vec<u64> {
+    let mut mem = vec![0u64; CWORDS as usize];
+    for phase in phases {
+        for proc_writes in phase {
+            for &(w, v) in proc_writes {
+                mem[w as usize] = v;
+            }
+        }
+    }
+    mem
+}
+
+fn run_phased(mut cfg: DssmpConfig) -> (Vec<u64>, RunReport) {
+    cfg.governor_window = None;
+    let phases = phased_writes();
+    let machine = Machine::new(cfg);
+    let arr = machine.alloc_array_pages::<u64>(CWORDS, AccessKind::DistArray);
+    let report = machine.run(|env| {
+        for phase in &phases {
+            for &(w, v) in &phase[env.pid()] {
+                arr.write(env, w, v);
+            }
+            env.barrier();
+            for w in (env.pid() as u64..CWORDS).step_by(97) {
+                let _ = arr.read(env, w);
+            }
+            env.barrier();
+        }
+    });
+    ((0..CWORDS).map(|i| machine.peek(&arr, i)).collect(), report)
+}
+
+#[test]
+fn home_lrc_converges_on_perfect_and_lossy_fabrics() {
+    let expect = interpret(&phased_writes());
+    for cluster in [1usize, 2, 8] {
+        for plan in [
+            FaultPlan::none(),
+            FaultPlan::uniform(LOSSY_SEED, 0.02, 0.02, Cycles(200)),
+        ] {
+            let cfg = DssmpConfig::new(CP, cluster)
+                .with_protocol(ProtocolKind::HomeLrc)
+                .with_faults(plan);
+            let (got, _) = run_phased(cfg);
+            assert_eq!(got, expect, "HomeLrc C={cluster}");
+        }
+    }
+}
+
+#[test]
+fn home_lrc_passes_application_self_verification() {
+    for c in [1usize, 2, 8] {
+        let mut cfg = DssmpConfig::new(8, c).with_protocol(ProtocolKind::HomeLrc);
+        cfg.governor_window = None;
+        // `execute` panics unless the numerical result matches the
+        // plain-Rust reference.
+        let r = Jacobi::small().execute(&Machine::new(cfg));
+        assert!(r.duration.raw() > 0);
+    }
+}
+
+#[test]
+fn adaptive_converges_on_perfect_and_lossy_fabrics() {
+    let expect = interpret(&phased_writes());
+    for cluster in [1usize, 2, 8] {
+        for plan in [
+            FaultPlan::none(),
+            FaultPlan::uniform(LOSSY_SEED, 0.02, 0.02, Cycles(200)),
+        ] {
+            let mut cfg = DssmpConfig::new(CP, cluster)
+                .with_protocol(ProtocolKind::Adaptive)
+                .with_faults(plan);
+            // Sample aggressively so the small program actually crosses
+            // policy transitions mid-run.
+            cfg.adaptive.sample_every = Cycles(5_000);
+            cfg.adaptive.min_activity = 8;
+            let (got, _) = run_phased(cfg);
+            assert_eq!(got, expect, "Adaptive C={cluster}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_passes_application_self_verification() {
+    for c in [1usize, 2, 8] {
+        let mut cfg = DssmpConfig::new(8, c).with_protocol(ProtocolKind::Adaptive);
+        cfg.governor_window = None;
+        cfg.adaptive.sample_every = Cycles(10_000);
+        cfg.adaptive.min_activity = 8;
+        let r = Tsp::small().execute(&Machine::new(cfg));
+        assert!(r.duration.raw() > 0);
+    }
+}
+
+#[test]
+fn adaptive_policy_trace_is_deterministic_at_w1() {
+    let run = || {
+        let mut cfg = DssmpConfig::new(CP, 2).with_protocol(ProtocolKind::Adaptive);
+        virtual_w1(&mut cfg);
+        cfg.adaptive.sample_every = Cycles(5_000);
+        cfg.adaptive.min_activity = 8;
+        let (image, report) = run_phased(cfg);
+        (image, report.policy_decisions)
+    };
+    let (image_a, trace_a) = run();
+    let (image_b, trace_b) = run();
+    assert!(
+        !trace_a.is_empty(),
+        "the false-sharing program must trigger at least one reclassification"
+    );
+    assert_eq!(trace_a, trace_b, "policy trace must be bit-deterministic");
+    assert_eq!(image_a, image_b);
+    assert_eq!(image_a, interpret(&phased_writes()));
+}
